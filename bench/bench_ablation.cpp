@@ -1,0 +1,181 @@
+// Ablations over GMP's design parameters (DESIGN.md §5).
+//
+// Fast, broad sweeps run on the fluid substrate (same decision engine,
+// deterministic network model); a narrower confirmation sweep runs on
+// the packet-level simulator.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <numeric>
+
+#include "analysis/experiment.hpp"
+#include "fluid/fluid_gmp.hpp"
+#include "scenarios/scenarios.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+constexpr double kCapacity = 580.0;
+
+struct FluidOutcome {
+  double minRate = 0;
+  double maxRate = 0;
+  int tailViolations = 0;  ///< violations over the final 50 periods
+};
+
+FluidOutcome runFluid(const scenarios::Scenario& sc, gmp::GmpParams params,
+                      int periods) {
+  fluid::FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  fluid::FluidGmpHarness harness{net, params};
+  const auto rates = harness.run(periods);
+  FluidOutcome out;
+  out.minRate = rates.begin()->second;
+  out.maxRate = rates.begin()->second;
+  for (const auto& [id, r] : rates) {
+    out.minRate = std::min(out.minRate, r);
+    out.maxRate = std::max(out.maxRate, r);
+  }
+  const auto& hist = harness.violationHistory();
+  const std::size_t tail = hist.size() > 50 ? hist.size() - 50 : 0;
+  out.tailViolations =
+      std::accumulate(hist.begin() + static_cast<std::ptrdiff_t>(tail),
+                      hist.end(), 0);
+  return out;
+}
+
+void sweepBeta() {
+  // The fluid model is noise-free, so beta's role (absorbing measurement
+  // noise) only shows on the packet-level simulator.
+  std::cout << "== Ablation: equality tolerance beta "
+               "(packet-level, Fig. 3, 400 s) ==\n"
+            << "   paper default beta = 0.10\n";
+  Table t({"beta", "I_mm", "I_eq", "U", "tail violations"});
+  for (double beta : {0.025, 0.05, 0.10, 0.20, 0.40}) {
+    analysis::RunConfig cfg;
+    cfg.protocol = analysis::Protocol::kGmp;
+    cfg.duration = Duration::seconds(400.0);
+    cfg.warmup = Duration::seconds(240.0);
+    cfg.seed = 11;
+    cfg.gmpParams.beta = beta;
+    const auto r = analysis::runScenario(scenarios::fig3(), cfg);
+    const auto& hist = r.violationHistory;
+    const std::size_t tail = hist.size() > 25 ? hist.size() - 25 : 0;
+    const int tailViolations =
+        std::accumulate(hist.begin() + static_cast<std::ptrdiff_t>(tail),
+                        hist.end(), 0);
+    t.addRow({Table::num(beta, 3), Table::num(r.summary.imm, 3),
+              Table::num(r.summary.ieq, 3),
+              Table::num(r.summary.effectiveThroughputPps),
+              std::to_string(tailViolations)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void sweepBigGapFactor() {
+  std::cout << "== Ablation: halve/double fast path threshold (fluid, "
+               "Fig. 2) ==\n"
+            << "   paper uses L1 > 3*S1; a huge factor disables the fast "
+               "path\n";
+  Table t({"bigGapFactor", "min rate", "max rate",
+           "violations in last 50 periods"});
+  for (double factor : {1.5, 3.0, 6.0, 1e9}) {
+    gmp::GmpParams p;
+    p.bigGapFactor = factor;
+    const auto out = runFluid(scenarios::fig2(), p, 150);
+    t.addRow({factor > 1e6 ? "disabled" : Table::num(factor, 1),
+              Table::num(out.minRate), Table::num(out.maxRate),
+              std::to_string(out.tailViolations)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void sweepAdditiveIncrease() {
+  std::cout << "== Ablation: additive probe step (fluid, Fig. 2) ==\n"
+            << "   larger probes rediscover bandwidth faster but "
+               "overshoot more\n";
+  Table t({"step (pkt/s)", "min rate", "max rate",
+           "violations in last 50 periods"});
+  for (double step : {2.0, 10.0, 40.0}) {
+    gmp::GmpParams p;
+    p.additiveIncreasePps = step;
+    const auto out = runFluid(scenarios::fig2(), p, 150);
+    t.addRow({Table::num(step, 0), Table::num(out.minRate),
+              Table::num(out.maxRate), std::to_string(out.tailViolations)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void sweepOmegaAndPeriodOnDes() {
+  std::cout << "== Ablation: Omega threshold and period length "
+               "(packet-level, Fig. 3, 400 s) ==\n"
+            << "   paper defaults: Omega threshold 0.25, period 4 s\n";
+  Table t({"omega", "period (s)", "I_mm", "I_eq", "U"});
+  const auto sc = scenarios::fig3();
+  for (double omega : {0.10, 0.25, 0.50}) {
+    for (double period : {2.0, 4.0, 8.0}) {
+      if (omega != 0.25 && period != 4.0) continue;  // axis-aligned sweep
+      analysis::RunConfig cfg;
+      cfg.protocol = analysis::Protocol::kGmp;
+      cfg.duration = Duration::seconds(400.0);
+      cfg.warmup = Duration::seconds(240.0);
+      cfg.seed = 11;
+      cfg.gmpParams.omegaThreshold = omega;
+      cfg.gmpParams.period = Duration::seconds(period);
+      const auto r = analysis::runScenario(sc, cfg);
+      t.addRow({Table::num(omega, 2), Table::num(period, 0),
+                Table::num(r.summary.imm, 3), Table::num(r.summary.ieq, 3),
+                Table::num(r.summary.effectiveThroughputPps)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void sweepQueueCapacityOnDes() {
+  std::cout << "== Ablation: per-destination queue capacity "
+               "(packet-level, Fig. 3, 400 s; paper: 10) ==\n";
+  Table t({"capacity (pkts)", "I_mm", "I_eq", "U"});
+  const auto sc = scenarios::fig3();
+  for (int capacity : {5, 10, 20, 50}) {
+    analysis::RunConfig cfg;
+    cfg.protocol = analysis::Protocol::kGmp;
+    cfg.duration = Duration::seconds(400.0);
+    cfg.warmup = Duration::seconds(240.0);
+    cfg.seed = 11;
+    cfg.netBase.queueCapacity = capacity;
+    const auto r = analysis::runScenario(sc, cfg);
+    t.addRow({std::to_string(capacity), Table::num(r.summary.imm, 3),
+              Table::num(r.summary.ieq, 3),
+              Table::num(r.summary.effectiveThroughputPps)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_FluidGmpPeriodFig4(benchmark::State& state) {
+  const auto sc = scenarios::fig4();
+  fluid::FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  fluid::FluidGmpHarness harness{net, gmp::GmpParams{}};
+  for (auto _ : state) {
+    harness.step();
+  }
+}
+BENCHMARK(BM_FluidGmpPeriodFig4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweepBeta();
+  sweepBigGapFactor();
+  sweepAdditiveIncrease();
+  sweepOmegaAndPeriodOnDes();
+  sweepQueueCapacityOnDes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

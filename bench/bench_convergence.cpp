@@ -1,0 +1,89 @@
+// Extension experiment (no counterpart figure in the paper): GMP
+// convergence dynamics. For each evaluation scenario, how many 4 s
+// periods until every flow settles within ±15 % of its final rate, how
+// large the steady-state wobble is, and the end-to-end latency the
+// backpressure pipeline imposes.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/convergence.hpp"
+#include "baselines/configs.hpp"
+#include "bench/bench_util.hpp"
+#include "gmp/controller.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+void convergenceRow(Table& t, const scenarios::Scenario& sc) {
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 7;
+  net::Network net{sc.topology, cfg, sc.flows};
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(400.0));
+
+  const auto report =
+      analysis::analyzeConvergence(controller.rateHistory(), 0.15, 15);
+  double worstLatencyMs = 0.0;
+  double worstMaxLatencyMs = 0.0;
+  for (const auto& f : sc.flows) {
+    const auto& lat = net.latencyStats(f.id);
+    worstLatencyMs = std::max(worstLatencyMs, lat.mean() * 1e3);
+    worstMaxLatencyMs = std::max(worstMaxLatencyMs, lat.max() * 1e3);
+  }
+  t.addRow({sc.name,
+            report.convergedAtPeriod < 0
+                ? "never"
+                : std::to_string(report.convergedAtPeriod) + " (" +
+                      Table::num(report.convergedAtPeriod * 4.0, 0) + " s)",
+            Table::num(report.tailOscillation * 100.0, 1) + "%",
+            Table::num(worstLatencyMs, 1),
+            Table::num(worstMaxLatencyMs, 1)});
+}
+
+void reproduceConvergence() {
+  std::cout << "== GMP convergence dynamics (400 s sessions, 4 s periods, "
+               "settling band +/-15%) ==\n";
+  Table t({"scenario", "settled at period", "tail wobble",
+           "worst mean latency (ms)", "worst max latency (ms)"});
+  convergenceRow(t, scenarios::fig3());
+  convergenceRow(t, scenarios::fig2());
+  convergenceRow(t, scenarios::fig2({1, 2, 1, 3}));
+  convergenceRow(t, scenarios::fig4());
+  t.print(std::cout);
+  std::cout
+      << "\nMean latency stays near 150 ms under saturation: per-destination "
+         "queues hold at most 10 packets per hop, so the backpressure "
+         "pipeline bounds steady-state queueing delay. The max-latency "
+         "column captures the convergence transient: packets admitted while "
+         "their link was still MAC-starved (e.g. Fig. 2's (1,2) at a few "
+         "pkt/s early on) can sit in a 10-deep queue for tens of seconds "
+         "before GMP rebalances the clique.\n\n";
+}
+
+void BM_ConvergenceAnalysis(benchmark::State& state) {
+  analysis::RateHistory history;
+  for (int p = 0; p < 100; ++p) {
+    std::map<net::FlowId, double> rates;
+    for (net::FlowId f = 0; f < 8; ++f) {
+      rates[f] = 100.0 + (p < 50 ? 50.0 - p : 0.0);
+    }
+    history.push_back(rates);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeConvergence(history, 0.15, 10));
+  }
+}
+BENCHMARK(BM_ConvergenceAnalysis);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduceConvergence();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

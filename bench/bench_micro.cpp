@@ -1,0 +1,134 @@
+// Microbenchmarks for the substrate components: event queue, medium,
+// clique enumeration, dominating sets, routing, fluid evaluation, and
+// end-to-end DES throughput.
+#include <benchmark/benchmark.h>
+
+#include "analysis/maxmin_solver.hpp"
+#include "baselines/configs.hpp"
+#include "fluid/fluid_network.hpp"
+#include "net/network.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "topology/cliques.hpp"
+#include "topology/conflict_graph.hpp"
+#include "topology/dominating_set.hpp"
+#include "topology/routing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng{42};
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(Duration::micros(rng.uniformInt(0, 1000000)),
+                   [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(sim.schedule(Duration::micros(i + 1), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCancellation);
+
+scenarios::Scenario meshScenario(int nodes) {
+  return scenarios::randomMesh(99, nodes, 250.0 * nodes / 4, 4);
+}
+
+void BM_CliqueEnumeration(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto sc = meshScenario(n);
+  std::vector<topo::Link> links;
+  for (topo::NodeId a = 0; a < sc.topology.numNodes(); ++a) {
+    for (topo::NodeId b : sc.topology.neighbors(a)) {
+      if (a < b) links.push_back(topo::Link{a, b});
+    }
+  }
+  const topo::ConflictGraph graph{sc.topology, links};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::enumerateMaximalCliques(graph));
+  }
+  state.SetLabel(std::to_string(links.size()) + " links");
+}
+BENCHMARK(BM_CliqueEnumeration)->Arg(12)->Arg(20);
+
+void BM_DominatingSets(benchmark::State& state) {
+  const auto sc = meshScenario(20);
+  for (auto _ : state) {
+    for (topo::NodeId n = 0; n < sc.topology.numNodes(); ++n) {
+      benchmark::DoNotOptimize(topo::computeDominatingSet(sc.topology, n));
+    }
+  }
+}
+BENCHMARK(BM_DominatingSets);
+
+void BM_ShortestPathRouting(benchmark::State& state) {
+  const auto sc = meshScenario(20);
+  for (auto _ : state) {
+    for (topo::NodeId n = 0; n < sc.topology.numNodes(); ++n) {
+      benchmark::DoNotOptimize(
+          topo::RoutingTree::shortestPaths(sc.topology, n));
+    }
+  }
+}
+BENCHMARK(BM_ShortestPathRouting);
+
+void BM_FluidEvaluate(benchmark::State& state) {
+  const auto sc = scenarios::fig4();
+  fluid::FluidNetwork net{sc.topology, sc.flows, 580.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.evaluate());
+  }
+}
+BENCHMARK(BM_FluidEvaluate);
+
+void BM_MaxminSolverMesh(benchmark::State& state) {
+  const auto sc = meshScenario(16);
+  const auto model = analysis::buildCliqueModel(sc.topology, sc.flows, 580.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::solveWeightedMaxmin(model));
+  }
+}
+BENCHMARK(BM_MaxminSolverMesh);
+
+/// End-to-end DES cost: simulated-seconds per wall-second on the
+/// saturated Fig. 4 network under the GMP configuration.
+void BM_DesSimulatedSecondFig4(benchmark::State& state) {
+  const auto sc = scenarios::fig4();
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 3;
+  net::Network net{sc.topology, cfg, sc.flows};
+  net.run(Duration::seconds(2.0));
+  std::uint64_t eventsBefore = net.simulator().executedEvents();
+  for (auto _ : state) {
+    net.run(Duration::seconds(1.0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(net.simulator().executedEvents() - eventsBefore));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_DesSimulatedSecondFig4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Reproduces paper Table 1: GMP on the Fig. 2 topology, all weights 1.
+//
+// Expected shape (paper: f1=563.96, f2=196.96, f3=217.57, f4=221.41):
+// f1 well above the clique-1 flows, which are near-equal with f2
+// slightly lowest. Absolute rates differ — our 802.11b substrate has
+// more per-packet overhead than the authors' simulator (see
+// EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "baselines/configs.hpp"
+#include "bench/bench_util.hpp"
+#include "gmp/controller.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+void reproduceTable1() {
+  const auto sc = scenarios::fig2();
+  const auto result = analysis::runScenario(
+      sc, bench::paperRunConfig(analysis::Protocol::kGmp));
+  bench::printComparison("Table 1: GMP on Fig. 2, equal weights", sc,
+                         {563.96, 196.96, 217.57, 221.41}, result, {});
+}
+
+/// Wall-clock cost of one 4 s GMP measurement/adjustment period on the
+/// Fig. 2 network (steady state).
+void BM_Fig2GmpPeriod(benchmark::State& state) {
+  const auto sc = scenarios::fig2();
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 3;
+  net::Network net{sc.topology, cfg, sc.flows};
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(20.0));  // past startup transients
+  for (auto _ : state) {
+    net.run(Duration::seconds(4.0));
+  }
+  state.SetLabel("4s simulated per iteration");
+}
+BENCHMARK(BM_Fig2GmpPeriod)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduceTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

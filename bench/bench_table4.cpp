@@ -1,0 +1,102 @@
+// Reproduces paper Table 4: 802.11 vs 2PP vs GMP on the Fig. 4 topology
+// (four parallel 3-node chains; odd flows 2 hops, even flows 1 hop).
+//
+// Expected shape: under 802.11 the side chains (f1/f2, f7/f8) get about
+// twice the middle chains' rates; under 2PP the remaining bandwidth is
+// heavily biased toward the side one-hop flows f2 and f8 and fairness
+// collapses below 802.11's; under GMP all eight flows are approximately
+// equal regardless of location and length.
+#include <benchmark/benchmark.h>
+
+#include "baselines/configs.hpp"
+#include "bench/bench_util.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+void reproduceTable4() {
+  const auto sc = scenarios::fig4();
+
+  struct Column {
+    analysis::Protocol protocol;
+    std::vector<double> paperRates;
+    double paperU, paperImm, paperIeq;
+  };
+  const std::vector<Column> columns{
+      {analysis::Protocol::kDcf80211,
+       {221.81, 221.81, 107.29, 107.28, 106.36, 106.36, 223.39, 223.39},
+       1976.54, 0.476, 0.890},
+      {analysis::Protocol::kTwoPhase,
+       {43.31, 347.81, 43.33, 86.67, 43.39, 86.70, 43.36, 346.96}, 1214.93,
+       0.125, 0.514},
+      {analysis::Protocol::kGmp,
+       {145.46, 145.94, 134.26, 132.38, 135.44, 133.04, 141.69, 149.07},
+       1674.13, 0.888, 0.998},
+  };
+
+  std::vector<analysis::RunResult> results;
+  for (const Column& c : columns) {
+    results.push_back(
+        analysis::runScenario(sc, bench::paperRunConfig(c.protocol)));
+  }
+
+  std::cout << "== Table 4: four parallel chains, eight flows (Fig. 4) ==\n";
+  Table t({"flow", "802.11 paper", "802.11", "2PP paper", "2PP",
+           "GMP paper", "GMP"});
+  for (std::size_t i = 0; i < sc.flows.size(); ++i) {
+    t.addRow({sc.flows[i].name,
+              Table::num(columns[0].paperRates[i]),
+              Table::num(results[0].flows[i].ratePps),
+              Table::num(columns[1].paperRates[i]),
+              Table::num(results[1].flows[i].ratePps),
+              Table::num(columns[2].paperRates[i]),
+              Table::num(results[2].flows[i].ratePps)});
+  }
+  auto metricRow = [&](const std::string& name, auto paperOf, auto measuredOf,
+                       int digits) {
+    std::vector<std::string> row{name};
+    for (std::size_t p = 0; p < columns.size(); ++p) {
+      row.push_back(Table::num(paperOf(columns[p]), digits));
+      row.push_back(Table::num(measuredOf(results[p]), digits));
+    }
+    t.addRow(row);
+  };
+  metricRow("U", [](const Column& c) { return c.paperU; },
+            [](const analysis::RunResult& r) {
+              return r.summary.effectiveThroughputPps;
+            },
+            2);
+  metricRow("I_mm", [](const Column& c) { return c.paperImm; },
+            [](const analysis::RunResult& r) { return r.summary.imm; }, 3);
+  metricRow("I_eq", [](const Column& c) { return c.paperIeq; },
+            [](const analysis::RunResult& r) { return r.summary.ieq; }, 3);
+  t.print(std::cout);
+
+  std::cout << "queue drops: 802.11=" << results[0].queueDrops
+            << " 2PP=" << results[1].queueDrops
+            << " GMP=" << results[2].queueDrops << "\n\n";
+}
+
+void BM_Fig4GmpSecond(benchmark::State& state) {
+  const auto sc = scenarios::fig4();
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 3;
+  net::Network net{sc.topology, cfg, sc.flows};
+  net.run(Duration::seconds(5.0));
+  for (auto _ : state) {
+    net.run(Duration::seconds(1.0));
+  }
+  state.SetLabel("1s simulated, 12 nodes, 8 flows");
+}
+BENCHMARK(BM_Fig4GmpSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduceTable4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared plumbing for the table-reproduction benches: run a scenario
+// under a protocol with the paper's session parameters and print
+// paper-vs-measured tables.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "scenarios/scenarios.hpp"
+#include "util/table.hpp"
+
+namespace maxmin::bench {
+
+/// The paper's session setup (§7): 400 s sessions, 4 s periods; we
+/// measure over the second half, after GMP has converged.
+inline analysis::RunConfig paperRunConfig(analysis::Protocol protocol,
+                                          std::uint64_t seed = 7) {
+  analysis::RunConfig cfg;
+  cfg.protocol = protocol;
+  cfg.duration = Duration::seconds(400.0);
+  cfg.warmup = Duration::seconds(200.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Print one reproduction table: per-flow rows "paper vs measured", then
+/// the summary metrics.
+inline void printComparison(const std::string& title,
+                            const scenarios::Scenario& scenario,
+                            const std::vector<double>& paperRates,
+                            const analysis::RunResult& result,
+                            const std::map<std::string, double>& paperMetrics) {
+  std::cout << "== " << title << " ==\n";
+  Table t({"flow", "weight", "hops", "paper rate", "measured rate"});
+  for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+    t.addRow({scenario.flows[i].name, Table::num(scenario.flows[i].weight, 0),
+              std::to_string(result.flows[i].hops),
+              i < paperRates.size() ? Table::num(paperRates[i]) : "-",
+              Table::num(result.flows[i].ratePps)});
+  }
+  t.print(std::cout);
+
+  Table m({"metric", "paper", "measured"});
+  auto metric = [&](const std::string& name, double measured, int digits) {
+    const auto it = paperMetrics.find(name);
+    m.addRow({name, it != paperMetrics.end() ? Table::num(it->second, digits)
+                                             : "-",
+              Table::num(measured, digits)});
+  };
+  metric("U", result.summary.effectiveThroughputPps, 2);
+  metric("I_mm", result.summary.imm, 3);
+  metric("I_eq", result.summary.ieq, 3);
+  m.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace maxmin::bench

@@ -1,0 +1,67 @@
+#include "analysis/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxmin::analysis {
+
+ConvergenceReport analyzeConvergence(const RateHistory& history, double band,
+                                     int tailWindow) {
+  MAXMIN_CHECK(band > 0.0);
+  MAXMIN_CHECK(tailWindow > 0);
+  MAXMIN_CHECK_MSG(static_cast<int>(history.size()) >= tailWindow,
+                   "history shorter than the tail window");
+
+  ConvergenceReport report;
+  const std::size_t n = history.size();
+  const std::size_t tailStart = n - static_cast<std::size_t>(tailWindow);
+
+  // Tail means per flow.
+  std::map<net::FlowId, double> sum;
+  for (std::size_t p = tailStart; p < n; ++p) {
+    for (const auto& [id, r] : history[p]) sum[id] += r;
+  }
+  for (const auto& [id, s] : sum) {
+    report.finalRates[id] = s / tailWindow;
+  }
+
+  // Tail oscillation: worst relative peak-to-peak swing.
+  for (const auto& [id, mean] : report.finalRates) {
+    if (mean <= 0.0) continue;
+    double lo = mean;
+    double hi = mean;
+    for (std::size_t p = tailStart; p < n; ++p) {
+      const auto it = history[p].find(id);
+      if (it == history[p].end()) continue;
+      lo = std::min(lo, it->second);
+      hi = std::max(hi, it->second);
+    }
+    report.tailOscillation = std::max(report.tailOscillation, (hi - lo) / mean);
+  }
+
+  // Settling period: first p such that all later samples of every flow
+  // are within the band of the tail mean.
+  auto inBand = [&](std::size_t p) {
+    for (const auto& [id, mean] : report.finalRates) {
+      const auto it = history[p].find(id);
+      if (it == history[p].end()) return false;
+      if (mean <= 0.0) continue;
+      if (std::abs(it->second - mean) > band * mean) return false;
+    }
+    return true;
+  };
+  int settled = -1;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (inBand(p)) {
+      if (settled < 0) settled = static_cast<int>(p);
+    } else {
+      settled = -1;
+    }
+  }
+  report.convergedAtPeriod = settled;
+  return report;
+}
+
+}  // namespace maxmin::analysis

@@ -1,0 +1,38 @@
+// Convergence analysis over per-period rate histories.
+//
+// GMP has no termination signal — it keeps probing additively and
+// correcting by beta steps — so "converged" means: from some period on,
+// every flow's rate stays inside a relative band around its eventual
+// (tail-mean) value. These utilities turn a gmp::Controller or
+// fluid::FluidGmpHarness rate history into the convergence period and
+// the residual oscillation amplitude.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace maxmin::analysis {
+
+using RateHistory = std::vector<std::map<net::FlowId, double>>;
+
+struct ConvergenceReport {
+  /// First period index from which every flow stays within `band` of its
+  /// tail mean; -1 if the history never settles.
+  int convergedAtPeriod = -1;
+  /// Mean rate per flow over the tail window.
+  std::map<net::FlowId, double> finalRates;
+  /// Largest relative peak-to-peak swing, over flows, within the tail
+  /// window: max_f (max - min) / mean. The steady-state "wobble".
+  double tailOscillation = 0.0;
+};
+
+/// `band`: relative half-width of the settling band (e.g. 0.15 = ±15 %).
+/// `tailWindow`: number of final periods used to define the settled value
+/// and the oscillation measure. The history must have at least
+/// `tailWindow` entries.
+ConvergenceReport analyzeConvergence(const RateHistory& history,
+                                     double band = 0.15, int tailWindow = 10);
+
+}  // namespace maxmin::analysis

@@ -1,0 +1,89 @@
+#include "analysis/experiment.hpp"
+
+#include "baselines/configs.hpp"
+#include "baselines/two_phase.hpp"
+#include "gmp/controller.hpp"
+#include "net/network.hpp"
+#include "util/check.hpp"
+
+namespace maxmin::analysis {
+
+const char* protocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kDcf80211: return "802.11";
+    case Protocol::kTwoPhase: return "2PP";
+    case Protocol::kGmp: return "GMP";
+  }
+  return "?";
+}
+
+double RunResult::rateOf(net::FlowId id) const {
+  for (const FlowOutcome& f : flows) {
+    if (f.id == id) return f.ratePps;
+  }
+  MAXMIN_CHECK_MSG(false, "unknown flow " << id);
+  return 0.0;
+}
+
+RunResult runScenario(const scenarios::Scenario& scenario,
+                      const RunConfig& config) {
+  MAXMIN_CHECK(config.warmup < config.duration);
+
+  net::NetworkConfig nc = config.netBase;
+  nc.seed = config.seed;
+  switch (config.protocol) {
+    case Protocol::kDcf80211: nc = baselines::config80211(nc); break;
+    case Protocol::kTwoPhase: nc = baselines::config2pp(nc); break;
+    case Protocol::kGmp: nc = baselines::configGmp(nc); break;
+  }
+
+  net::Network net{scenario.topology, nc, scenario.flows};
+
+  std::optional<gmp::Controller> controller;
+  if (config.protocol == Protocol::kGmp) {
+    controller.emplace(net, config.gmpParams);
+    controller->start();
+  } else if (config.protocol == Protocol::kTwoPhase) {
+    std::vector<std::vector<topo::NodeId>> paths;
+    for (const net::FlowSpec& f : scenario.flows) {
+      paths.push_back(net.pathOf(f.id));
+    }
+    const baselines::TwoPhaseAllocator allocator{
+        scenario.topology, scenario.flows, paths,
+        baselines::nominalLinkCapacityPps(nc.mac, nc.packetSize)};
+    const auto allocation = allocator.allocate();
+    for (const net::FlowSpec& f : scenario.flows) {
+      net.setRateLimit(f.id, allocation.totalPps.at(f.id));
+    }
+  }
+
+  net.run(config.warmup);
+  const auto start = net.snapshotDeliveries();
+  net.run(config.duration - config.warmup);
+  const auto rates = net::Network::ratesBetween(start, net.snapshotDeliveries());
+
+  RunResult result;
+  result.protocol = config.protocol;
+  std::map<net::FlowId, int> hops;
+  std::map<net::FlowId, double> weights;
+  for (const net::FlowSpec& f : scenario.flows) {
+    FlowOutcome out;
+    out.id = f.id;
+    out.name = f.name;
+    out.ratePps = rates.at(f.id);
+    out.weight = f.weight;
+    out.hops = net.hopCount(f.id);
+    result.flows.push_back(out);
+    hops[f.id] = out.hops;
+    weights[f.id] = f.weight;
+  }
+  result.summary = summarize(rates, hops);
+  result.normalizedSummary = summarizeNormalized(rates, weights, hops);
+  result.queueDrops = net.totalQueueDrops();
+  if (controller) {
+    result.violationHistory = controller->violationHistory();
+  }
+  return result;
+}
+
+}  // namespace maxmin::analysis

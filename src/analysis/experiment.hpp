@@ -1,0 +1,61 @@
+// One-call experiment runner: build the network for a protocol, run it,
+// measure steady-state flow rates, and summarize — the loop behind every
+// table reproduction in bench/.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "gmp/types.hpp"
+#include "net/config.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace maxmin::analysis {
+
+enum class Protocol {
+  kDcf80211,  ///< plain 802.11 DCF, shared drop-overwrite buffer
+  kTwoPhase,  ///< 2PP [11]: per-flow queues + offline two-phase rates
+  kGmp,       ///< the paper's protocol
+};
+
+const char* protocolName(Protocol p);
+
+struct RunConfig {
+  Protocol protocol = Protocol::kGmp;
+  /// Total simulated time. The paper runs 400 s sessions.
+  Duration duration = Duration::seconds(400.0);
+  /// Rates are measured over [warmup, duration].
+  Duration warmup = Duration::seconds(200.0);
+  std::uint64_t seed = 1;
+  gmp::GmpParams gmpParams;
+  /// Applied before the protocol-specific queueing configuration.
+  net::NetworkConfig netBase;
+};
+
+struct FlowOutcome {
+  net::FlowId id = net::kNoFlow;
+  std::string name;
+  double ratePps = 0.0;
+  double weight = 1.0;
+  int hops = 0;
+};
+
+struct RunResult {
+  Protocol protocol = Protocol::kGmp;
+  std::vector<FlowOutcome> flows;
+  FairnessSummary summary;             ///< over raw rates
+  FairnessSummary normalizedSummary;   ///< over r(f)/w(f)
+  std::int64_t queueDrops = 0;
+  /// GMP only: total condition violations per period.
+  std::vector<int> violationHistory;
+
+  double rateOf(net::FlowId id) const;
+};
+
+RunResult runScenario(const scenarios::Scenario& scenario,
+                      const RunConfig& config);
+
+}  // namespace maxmin::analysis

@@ -1,0 +1,40 @@
+#include "analysis/metrics.hpp"
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace maxmin::analysis {
+
+FairnessSummary summarize(const std::map<net::FlowId, double>& ratesPps,
+                          const std::map<net::FlowId, int>& hops) {
+  FairnessSummary s;
+  std::vector<double> rates;
+  for (const auto& [id, r] : ratesPps) {
+    rates.push_back(r);
+    s.totalRatePps += r;
+    s.effectiveThroughputPps += r * hops.at(id);
+  }
+  s.imm = maxminIndex(rates);
+  s.ieq = jainIndex(rates);
+  return s;
+}
+
+FairnessSummary summarizeNormalized(
+    const std::map<net::FlowId, double>& ratesPps,
+    const std::map<net::FlowId, double>& weights,
+    const std::map<net::FlowId, int>& hops) {
+  FairnessSummary s;
+  std::vector<double> normalized;
+  for (const auto& [id, r] : ratesPps) {
+    const double w = weights.at(id);
+    MAXMIN_CHECK(w > 0.0);
+    normalized.push_back(r / w);
+    s.totalRatePps += r;
+    s.effectiveThroughputPps += r * hops.at(id);
+  }
+  s.imm = maxminIndex(normalized);
+  s.ieq = jainIndex(normalized);
+  return s;
+}
+
+}  // namespace maxmin::analysis

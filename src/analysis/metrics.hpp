@@ -1,0 +1,31 @@
+// The paper's evaluation metrics (§7.2): maxmin fairness index I_mm,
+// equality fairness index I_eq (Chiu-Jain), and effective network
+// throughput U = sum over flows of rate * path length.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace maxmin::analysis {
+
+struct FairnessSummary {
+  double imm = 1.0;  ///< min rate / max rate
+  double ieq = 1.0;  ///< Jain's index over rates
+  double effectiveThroughputPps = 0.0;  ///< U: sum r(f) * hops(f)
+  double totalRatePps = 0.0;
+};
+
+/// `hops[id]` must exist for every rate entry.
+FairnessSummary summarize(const std::map<net::FlowId, double>& ratesPps,
+                          const std::map<net::FlowId, int>& hops);
+
+/// Weighted variant: indices computed over normalized rates r(f)/w(f),
+/// for weighted-maxmin experiments.
+FairnessSummary summarizeNormalized(
+    const std::map<net::FlowId, double>& ratesPps,
+    const std::map<net::FlowId, double>& weights,
+    const std::map<net::FlowId, int>& hops);
+
+}  // namespace maxmin::analysis

@@ -1,0 +1,28 @@
+#include "baselines/configs.hpp"
+
+namespace maxmin::baselines {
+
+// Queue capacities are NOT overridden here: NetworkConfig's defaults are
+// already the paper's §7 values (10-packet per-flow/per-destination
+// queues, 300-packet shared buffer), and callers doing capacity
+// ablations must keep their overrides.
+
+net::NetworkConfig config80211(net::NetworkConfig base) {
+  base.discipline = net::QueueDiscipline::kSharedFifo;
+  base.congestionAvoidance = false;
+  return base;
+}
+
+net::NetworkConfig config2pp(net::NetworkConfig base) {
+  base.discipline = net::QueueDiscipline::kPerFlow;
+  base.congestionAvoidance = false;
+  return base;
+}
+
+net::NetworkConfig configGmp(net::NetworkConfig base) {
+  base.discipline = net::QueueDiscipline::kPerDestination;
+  base.congestionAvoidance = true;
+  return base;
+}
+
+}  // namespace maxmin::baselines

@@ -1,0 +1,21 @@
+// Network configurations for the three protocols compared in §7.2.
+#pragma once
+
+#include "net/config.hpp"
+
+namespace maxmin::baselines {
+
+/// Plain IEEE 802.11 DCF: one shared buffer per node; an arriving packet
+/// overwrites the tail when the buffer is full; no backpressure, no rate
+/// control.
+net::NetworkConfig config80211(net::NetworkConfig base = {});
+
+/// 2PP (Li, ICDCS'05): per-flow queues of 10 packets, no congestion
+/// avoidance; rates are enforced at the sources by TwoPhaseAllocator.
+net::NetworkConfig config2pp(net::NetworkConfig base = {});
+
+/// GMP: per-destination queues of 10 packets with the congestion-
+/// avoidance backpressure; rates adapted by gmp::Controller.
+net::NetworkConfig configGmp(net::NetworkConfig base = {});
+
+}  // namespace maxmin::baselines

@@ -1,0 +1,67 @@
+// Reimplementation of the two-phase protocol (2PP) of
+//   B. Li, "End-to-End Fair Bandwidth Allocation in Multi-hop Wireless
+//   Ad Hoc Networks", ICDCS 2005,
+// as characterized by the paper under reproduction (§1, §7.2): per-flow
+// queueing; phase one guarantees every flow a conservative *basic fair
+// share* derived from clique capacities; phase two distributes the
+// remaining capacity to maximize aggregate throughput via a linear
+// program, which biases the remainder heavily toward short (one-hop)
+// flows.
+//
+// Phase two is solved greedily cheapest-flow-first (fewest clique
+// traversals, i.e. shortest path). For the max-throughput LP over clique
+// capacity constraints this greedy is the textbook optimal order: giving
+// a unit of rate to a flow consumes `traversals` units of clique
+// capacity, so throughput per capacity unit is maximized by ascending
+// traversal count.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mac/params.hpp"
+#include "net/flow.hpp"
+#include "topology/cliques.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::baselines {
+
+struct TwoPhaseAllocation {
+  std::map<net::FlowId, double> basicSharePps;  ///< phase-one guarantee
+  std::map<net::FlowId, double> totalPps;       ///< basic + phase-two extra
+};
+
+/// Nominal saturated throughput (pkts/s) of a single contention-free
+/// link: one DIFS + mean initial backoff + a full RTS/CTS/DATA/ACK
+/// exchange per packet. Used as the per-clique capacity estimate.
+double nominalLinkCapacityPps(const mac::MacParams& mac, DataSize payload);
+
+class TwoPhaseAllocator {
+ public:
+  /// `paths[i]` is the routing path (nodes, inclusive) of `flows[i]`.
+  /// `cliqueCapacityPps` is the serial packet capacity of any maximal
+  /// contention clique. `basicShareConservatism` scales the phase-one
+  /// guarantee below the plain equal split — [11]'s basic share is
+  /// deliberately conservative ("can be far below the maxmin rate", §1),
+  /// and the slack it leaves is what phase two then biases toward short
+  /// flows.
+  TwoPhaseAllocator(const topo::Topology& topo,
+                    std::vector<net::FlowSpec> flows,
+                    std::vector<std::vector<topo::NodeId>> paths,
+                    double cliqueCapacityPps,
+                    double basicShareConservatism = 0.5);
+
+  TwoPhaseAllocation allocate() const;
+
+  int numCliques() const { return static_cast<int>(cliques_.size()); }
+
+ private:
+  std::vector<net::FlowSpec> flows_;
+  double capacity_;
+  double conservatism_;
+  /// traversals_[c][i]: links of flow i inside clique c.
+  std::vector<std::vector<int>> traversals_;
+  std::vector<topo::Clique> cliques_;
+};
+
+}  // namespace maxmin::baselines

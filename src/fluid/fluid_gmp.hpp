@@ -1,0 +1,38 @@
+// Drives the (unmodified) gmp::Engine over a FluidNetwork: the same
+// period loop as gmp::Controller, with the Snapshot assembled from fluid
+// steady states instead of packet-level measurements.
+#pragma once
+
+#include <vector>
+
+#include "fluid/fluid_network.hpp"
+#include "gmp/engine.hpp"
+
+namespace maxmin::fluid {
+
+class FluidGmpHarness {
+ public:
+  FluidGmpHarness(FluidNetwork& network, gmp::GmpParams params);
+
+  /// Run one measurement+adjustment period; returns the engine's report.
+  gmp::DecisionReport step();
+
+  /// Run `periods` periods and return the final realized rates.
+  std::map<net::FlowId, double> run(int periods);
+
+  const gmp::Snapshot& lastSnapshot() const { return lastSnapshot_; }
+  const std::vector<int>& violationHistory() const {
+    return violationHistory_;
+  }
+
+ private:
+  gmp::Snapshot buildSnapshot(const FluidState& state) const;
+
+  FluidNetwork& network_;
+  gmp::GmpParams params_;
+  gmp::Engine engine_;
+  gmp::Snapshot lastSnapshot_;
+  std::vector<int> violationHistory_;
+};
+
+}  // namespace maxmin::fluid

@@ -1,0 +1,139 @@
+#include "fluid/fluid_network.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace maxmin::fluid {
+
+FluidNetwork::FluidNetwork(const topo::Topology& topo,
+                           std::vector<net::FlowSpec> flows,
+                           double cliqueCapacityPps)
+    : flows_{std::move(flows)}, capacity_{cliqueCapacityPps} {
+  MAXMIN_CHECK(capacity_ > 0.0);
+  net::validateFlows(flows_, topo.numNodes());
+
+  std::set<topo::Link> linkSet;
+  for (const net::FlowSpec& f : flows_) {
+    const auto tree = topo::RoutingTree::shortestPaths(topo, f.dst);
+    MAXMIN_CHECK_MSG(tree.reaches(f.src), "flow " << f.id << " unroutable");
+    paths_.push_back(tree.pathFrom(f.src));
+    limits_[f.id] = std::nullopt;
+    for (std::size_t i = 0; i + 1 < paths_.back().size(); ++i) {
+      linkSet.insert(topo::Link{paths_.back()[i], paths_.back()[i + 1]});
+    }
+  }
+  contention_ = gmp::ContentionStructure::build(
+      topo, {linkSet.begin(), linkSet.end()});
+
+  traversals_.assign(contention_.cliques.size(),
+                     std::vector<int>(flows_.size(), 0));
+  for (std::size_t c = 0; c < contention_.cliques.size(); ++c) {
+    std::set<topo::Link> members;
+    for (int li : contention_.cliques[c].linkIndices) {
+      members.insert(contention_.links[static_cast<std::size_t>(li)]);
+    }
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      for (std::size_t h = 0; h + 1 < paths_[i].size(); ++h) {
+        if (members.contains(topo::Link{paths_[i][h], paths_[i][h + 1]})) {
+          ++traversals_[c][i];
+        }
+      }
+    }
+  }
+}
+
+void FluidNetwork::setRateLimit(net::FlowId id, std::optional<double> pps) {
+  MAXMIN_CHECK(limits_.contains(id));
+  if (pps) MAXMIN_CHECK(*pps > 0.0);
+  limits_[id] = pps;
+}
+
+std::optional<double> FluidNetwork::rateLimit(net::FlowId id) const {
+  return limits_.at(id);
+}
+
+FluidState FluidNetwork::evaluate() const {
+  const std::size_t n = flows_.size();
+  const std::size_t m = contention_.cliques.size();
+
+  std::vector<double> offered(n);
+  std::vector<double> rate(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    offered[i] = flows_[i].desiredRate.asPerSecond();
+    if (const auto& lim = limits_.at(flows_[i].id)) {
+      offered[i] = std::min(offered[i], *lim);
+    }
+    rate[i] = offered[i];
+  }
+
+  // Demand-proportional scaling until every clique fits. Track, per flow,
+  // the clique that last constrained it: that clique holds the flow's
+  // bottleneck link.
+  std::vector<int> bottleneckClique(n, -1);
+  constexpr double kEps = 1e-9;
+  for (int iter = 0; iter < 10000; ++iter) {
+    double worst = 1.0 + kEps;
+    int worstClique = -1;
+    for (std::size_t c = 0; c < m; ++c) {
+      double load = 0.0;
+      for (std::size_t i = 0; i < n; ++i) load += rate[i] * traversals_[c][i];
+      const double utilization = load / capacity_;
+      if (utilization > worst) {
+        worst = utilization;
+        worstClique = static_cast<int>(c);
+      }
+    }
+    if (worstClique < 0) break;
+    const double factor = 1.0 / worst;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (traversals_[static_cast<std::size_t>(worstClique)][i] > 0) {
+        rate[i] *= factor;
+        bottleneckClique[i] = worstClique;
+      }
+    }
+  }
+
+  FluidState state;
+  for (std::size_t i = 0; i < n; ++i) {
+    state.rates[flows_[i].id] = rate[i];
+  }
+
+  // Backpressure chain: a constrained flow saturates the queues from its
+  // source through the sender of its first link inside the bottleneck
+  // clique (paper §3.2: everything upstream of the bandwidth-saturated
+  // link is buffer-saturated).
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool constrained = rate[i] < offered[i] - kEps;
+    if (!constrained) continue;
+    MAXMIN_CHECK(bottleneckClique[i] >= 0);
+    std::set<topo::Link> members;
+    for (int li :
+         contention_.cliques[static_cast<std::size_t>(bottleneckClique[i])]
+             .linkIndices) {
+      members.insert(contention_.links[static_cast<std::size_t>(li)]);
+    }
+    const auto& path = paths_[i];
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      state.saturated[{path[h], flows_[i].dst}] = true;
+      if (members.contains(topo::Link{path[h], path[h + 1]})) break;
+    }
+  }
+
+  // Link occupancies: airtime fraction consumed by the traffic on each
+  // wireless link.
+  for (const topo::Link& l : contention_.links) {
+    double load = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& path = paths_[i];
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        if (topo::Link{path[h], path[h + 1]} == l) load += rate[i];
+      }
+    }
+    state.occupancy[l] = load / capacity_;
+  }
+  return state;
+}
+
+}  // namespace maxmin::fluid

@@ -1,0 +1,67 @@
+// Deterministic fluid approximation of the wireless substrate.
+//
+// Replaces the packet-level 802.11 pipeline with a steady-state flow
+// computation per period:
+//   * every flow offers min(desired, rate limit);
+//   * clique airtime constraints are enforced by repeatedly scaling the
+//     flows crossing the most-overloaded clique (a work-conserving,
+//     demand-proportional share, close to what DCF converges to over a
+//     4 s period);
+//   * buffer-based backpressure is emulated structurally: a constrained
+//     flow saturates every queue from its source up to (and including)
+//     the sender of its bottleneck link, exactly the saturated-buffer
+//     chain of paper §3.
+//
+// The point is speed and determinism: the same gmp::Engine that drives
+// the packet simulator can be exercised over hundreds of random
+// topologies in milliseconds, and its fixed point compared against the
+// centralized maxmin reference.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gmp/engine.hpp"
+#include "net/flow.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::fluid {
+
+struct FluidState {
+  /// Realized end-to-end rate per flow (pkts/s).
+  std::map<net::FlowId, double> rates;
+  /// Saturated virtual nodes (node, dest), per the backpressure chain.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, bool> saturated;
+  /// Airtime occupancy per wireless link (fraction of clique capacity).
+  std::map<topo::Link, double> occupancy;
+};
+
+class FluidNetwork {
+ public:
+  FluidNetwork(const topo::Topology& topo, std::vector<net::FlowSpec> flows,
+               double cliqueCapacityPps);
+
+  /// Steady state under the current rate limits.
+  FluidState evaluate() const;
+
+  void setRateLimit(net::FlowId id, std::optional<double> pps);
+  std::optional<double> rateLimit(net::FlowId id) const;
+
+  const std::vector<net::FlowSpec>& flows() const { return flows_; }
+  const std::vector<std::vector<topo::NodeId>>& paths() const { return paths_; }
+  const gmp::ContentionStructure& contention() const { return contention_; }
+  double cliqueCapacity() const { return capacity_; }
+
+ private:
+  std::vector<net::FlowSpec> flows_;
+  std::vector<std::vector<topo::NodeId>> paths_;
+  std::map<net::FlowId, std::optional<double>> limits_;
+  gmp::ContentionStructure contention_;
+  double capacity_;
+  /// traversalsByClique_[c][flowIdx]
+  std::vector<std::vector<int>> traversals_;
+};
+
+}  // namespace maxmin::fluid

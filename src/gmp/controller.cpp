@@ -1,0 +1,167 @@
+#include "gmp/controller.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace maxmin::gmp {
+
+Controller::Controller(net::Network& net, GmpParams params)
+    : net_{net},
+      params_{params},
+      contention_{ContentionStructure::build(net.topology(),
+                                             net.activeLinks())},
+      engine_{contention_, params},
+      timer_{net.simulator()} {
+  MAXMIN_CHECK_MSG(net.config().discipline ==
+                       net::QueueDiscipline::kPerDestination,
+                   "GMP requires per-destination queueing (paper §5.1)");
+  MAXMIN_CHECK_MSG(net.config().congestionAvoidance,
+                   "GMP requires the congestion-avoidance backpressure");
+
+  std::set<std::pair<topo::NodeId, topo::NodeId>> vnodes;
+  for (const net::FlowSpec& f : net_.flows()) {
+    const auto path = net_.pathOf(f.id);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      flowsOnVlink_[VirtualLinkKey{path[i], path[i + 1], f.dst}].push_back(
+          f.id);
+      vnodes.insert({path[i], f.dst});
+    }
+  }
+  virtualNodes_.assign(vnodes.begin(), vnodes.end());
+}
+
+void Controller::start() {
+  timer_.start(params_.period, [this] { tick(); });
+}
+
+Snapshot Controller::takeSnapshot() {
+  Snapshot snap;
+
+  std::map<topo::NodeId, net::NodePeriodMeasurement> meas;
+  double periodSeconds = 0.0;
+  for (topo::NodeId n = 0; n < net_.topology().numNodes(); ++n) {
+    auto m = net_.closeMeasurementWindow(n);
+    periodSeconds = m.periodSeconds;
+    meas.emplace(n, std::move(m));
+  }
+  MAXMIN_CHECK(periodSeconds > 0.0);
+
+  // Flow states, measured at the sources.
+  for (const net::FlowSpec& f : net_.flows()) {
+    FlowState fs;
+    fs.id = f.id;
+    fs.src = f.src;
+    fs.dst = f.dst;
+    fs.weight = f.weight;
+    fs.desiredPps = f.desiredRate.asPerSecond();
+    const auto& local = meas.at(f.src).localFlowRate;
+    if (const auto it = local.find(f.id); it != local.end()) {
+      fs.ratePps = it->second;
+    }
+    fs.limitPps = net_.rateLimit(f.id);
+    snap.flows.push_back(fs);
+  }
+
+  // Virtual-node saturation from Omega (paper §6.2: threshold 25%).
+  for (const auto& [node, dest] : virtualNodes_) {
+    const auto& omega = meas.at(node).queueFullFraction;
+    bool sat = false;
+    if (const auto it = omega.find(dest); it != omega.end()) {
+      sat = it->second > params_.omegaThreshold;
+    }
+    snap.saturated[{node, dest}] = sat;
+  }
+
+  // Virtual links.
+  for (const auto& [key, flowIds] : flowsOnVlink_) {
+    VLinkState vl;
+    vl.key = key;
+    const bool senderSat = snap.saturated.contains({key.from, key.dest}) &&
+                           snap.saturated.at({key.from, key.dest});
+    const bool receiverSat = snap.saturated.contains({key.to, key.dest}) &&
+                             snap.saturated.at({key.to, key.dest});
+    vl.type = classifyLink(senderSat, receiverSat);
+
+    // Per-flow normalized rates on the link. The paper measures each
+    // flow's mu in the first half of a period and piggybacks it on that
+    // period's remaining packets, so the mu a link reads is same-epoch
+    // with the flow's current rate. We reproduce that by taking the set
+    // of flows observed on the link from the piggyback samples and their
+    // mu values from this period's source measurements. If the link
+    // moved no traffic at all this period, fall back to every flow
+    // routed across it.
+    auto currentMu = [&](net::FlowId id) {
+      for (const FlowState& fs : snap.flows) {
+        if (fs.id == id) return fs.mu();
+      }
+      return 0.0;
+    };
+    std::map<net::FlowId, double> mus;
+    const auto& down = meas.at(key.from).downstream;
+    if (const auto it = down.find(key.dest);
+        it != down.end() && !it->second.flowMu.empty()) {
+      vl.ratePps = it->second.packets / periodSeconds;
+      for (const auto& [id, staleMu] : it->second.flowMu) {
+        mus[id] = currentMu(id);
+      }
+    } else {
+      for (net::FlowId id : flowIds) mus[id] = currentMu(id);
+    }
+    double maxMu = 0.0;
+    for (const auto& [id, mu] : mus) maxMu = std::max(maxMu, mu);
+    vl.normRate = maxMu;
+    const BetaCompare cmp{params_.beta};
+    for (const auto& [id, mu] : mus) {
+      if (cmp.equal(mu, maxMu)) vl.primaryFlows.push_back(id);
+    }
+    snap.vlinks.push_back(vl);
+  }
+
+  // Wireless links: occupancy from the MAC, normalized rate as the max
+  // over the link's virtual links.
+  for (const topo::Link& l : contention_.links) {
+    WLinkState wl;
+    wl.link = l;
+    wl.occupancy =
+        net_.takeLinkOccupancy(l.from, l.to).asSeconds() / periodSeconds;
+    for (const VLinkState& vl : snap.vlinks) {
+      if (vl.key.wireless() == l) wl.normRate = std::max(wl.normRate, vl.normRate);
+    }
+    snap.wlinks.push_back(wl);
+  }
+
+  return snap;
+}
+
+void Controller::tick() {
+  lastSnapshot_ = takeSnapshot();
+  lastReport_ = engine_.decide(lastSnapshot_);
+
+  for (const Command& cmd : lastReport_.commands) {
+    switch (cmd.kind) {
+      case Command::Kind::kSetLimit:
+        net_.setRateLimit(cmd.flow, cmd.limitPps);
+        break;
+      case Command::Kind::kRemoveLimit:
+        net_.setRateLimit(cmd.flow, std::nullopt);
+        break;
+    }
+  }
+
+  // Re-stamp each source's normalized rate for the coming period's
+  // piggybacking (paper §6.2, "Normalized Rate").
+  for (const FlowState& fs : lastSnapshot_.flows) {
+    net_.setSourceMu(fs.id, fs.mu());
+  }
+
+  violationHistory_.push_back(lastReport_.sourceBufferViolations +
+                              lastReport_.bandwidthViolations);
+  std::map<net::FlowId, double> rates;
+  for (const FlowState& fs : lastSnapshot_.flows) rates[fs.id] = fs.ratePps;
+  rateHistory_.push_back(std::move(rates));
+  ++periods_;
+}
+
+}  // namespace maxmin::gmp

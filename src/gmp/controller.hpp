@@ -1,0 +1,75 @@
+// Drives the GMP engine over a live packet-level network: the
+// measurement/adjustment period loop of §6.
+//
+// Each period boundary it (a) closes every node's measurement window,
+// (b) assembles the Snapshot exactly as the nodes' own measurements and
+// the 2-hop dissemination protocol would, (c) runs the four-condition
+// engine, and (d) applies the resulting rate-limit commands at the flow
+// sources and re-stamps each source's normalized rate for piggybacking.
+//
+// Control signalling is delivered out-of-band (see DESIGN.md §2,
+// substitution 3): the paper's control traffic is a handful of tiny
+// packets per node per 4-second period, negligible against saturated
+// data traffic.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gmp/engine.hpp"
+#include "net/network.hpp"
+#include "sim/timer.hpp"
+
+namespace maxmin::gmp {
+
+class Controller {
+ public:
+  Controller(net::Network& net, GmpParams params);
+
+  /// Begin the period loop (first adjustment after one full period).
+  void start();
+  void stop() { timer_.stop(); }
+
+  int periodsRun() const { return periods_; }
+  const DecisionReport& lastReport() const { return lastReport_; }
+  const Snapshot& lastSnapshot() const { return lastSnapshot_; }
+  const ContentionStructure& contention() const { return contention_; }
+
+  /// Total condition violations seen in each period, oldest first. A
+  /// converged run trends to (and hovers near) zero.
+  const std::vector<int>& violationHistory() const {
+    return violationHistory_;
+  }
+
+  /// Per-period measured flow rates (pkts/s), oldest first — the raw
+  /// material for convergence analysis (analysis/convergence.hpp).
+  const std::vector<std::map<net::FlowId, double>>& rateHistory() const {
+    return rateHistory_;
+  }
+
+  /// Assemble a snapshot from the current measurement windows without
+  /// adjusting anything (also used by tests).
+  Snapshot takeSnapshot();
+
+ private:
+  void tick();
+
+  net::Network& net_;
+  GmpParams params_;
+  ContentionStructure contention_;
+  Engine engine_;
+  sim::PeriodicTimer timer_;
+
+  /// All virtual links any flow traverses, with the flows on each.
+  std::map<VirtualLinkKey, std::vector<net::FlowId>> flowsOnVlink_;
+  /// All (node, dest) virtual nodes on any flow path (dest excluded).
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> virtualNodes_;
+
+  Snapshot lastSnapshot_;
+  DecisionReport lastReport_;
+  std::vector<int> violationHistory_;
+  std::vector<std::map<net::FlowId, double>> rateHistory_;
+  int periods_ = 0;
+};
+
+}  // namespace maxmin::gmp

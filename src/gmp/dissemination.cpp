@@ -1,0 +1,84 @@
+#include "gmp/dissemination.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "topology/dominating_set.hpp"
+#include "util/check.hpp"
+
+namespace maxmin::gmp {
+
+DataSize LinkStateDissemination::messageSize(std::size_t states) {
+  // origin + seq + count (8 B) plus 12 B per entry (two node ids, two
+  // quantized values) — a deliberately compact wire format.
+  return DataSize::bytes(8 + 12 * static_cast<std::int64_t>(states));
+}
+
+LinkStateDissemination::LinkStateDissemination(net::Network& net) : net_{net} {
+  const int n = net.topology().numNodes();
+  relays_.reserve(static_cast<std::size_t>(n));
+  for (topo::NodeId id = 0; id < n; ++id) {
+    relays_.push_back(topo::computeDominatingSet(net.topology(), id));
+  }
+  stores_.assign(static_cast<std::size_t>(n), {});
+  seen_.assign(static_cast<std::size_t>(n), {});
+  for (topo::NodeId id = 0; id < n; ++id) {
+    net_.stack(id).setControlHandler(
+        [this, id](const phys::Frame& frame) { onControl(id, frame); });
+  }
+}
+
+void LinkStateDissemination::announce(topo::NodeId origin,
+                                      std::vector<LinkStateAd> states) {
+  auto msg = std::make_shared<LinkStateMessage>();
+  msg->origin = origin;
+  msg->seq = nextSeq_[origin]++;
+  msg->states = std::move(states);
+
+  // The origin knows its own announcement.
+  auto& store = stores_.at(static_cast<std::size_t>(origin));
+  for (const LinkStateAd& ad : msg->states) store[ad.link] = ad;
+  seen_.at(static_cast<std::size_t>(origin)).insert({origin, msg->seq});
+
+  const DataSize size = messageSize(msg->states.size());
+  net_.macOf(origin).enqueueBroadcast(std::move(msg), size);
+  ++messagesSent_;
+}
+
+void LinkStateDissemination::onControl(topo::NodeId receiver,
+                                       const phys::Frame& frame) {
+  const auto* msg =
+      dynamic_cast<const LinkStateMessage*>(frame.control.get());
+  if (msg == nullptr) return;  // someone else's control traffic
+
+  auto& seen = seen_.at(static_cast<std::size_t>(receiver));
+  if (!seen.insert({msg->origin, msg->seq}).second) return;  // duplicate
+
+  auto& store = stores_.at(static_cast<std::size_t>(receiver));
+  for (const LinkStateAd& ad : msg->states) store[ad.link] = ad;
+
+  // Relay once if this receiver is in the *transmitter's* dominating set
+  // (paper §6.2: "When a node in their dominating sets overhears this
+  // information, the node rebroadcasts it to its neighbors").
+  const auto& relaySet =
+      relays_.at(static_cast<std::size_t>(frame.transmitter));
+  if (std::binary_search(relaySet.begin(), relaySet.end(), receiver)) {
+    auto copy = std::make_shared<LinkStateMessage>(*msg);
+    net_.macOf(receiver).enqueueBroadcast(std::move(copy),
+                                          messageSize(msg->states.size()));
+    ++rebroadcasts_;
+  }
+}
+
+std::vector<topo::NodeId> LinkStateDissemination::reachedBy(
+    topo::NodeId origin, std::int64_t seq) const {
+  std::vector<topo::NodeId> reached;
+  for (topo::NodeId id = 0; id < net_.topology().numNodes(); ++id) {
+    if (seen_.at(static_cast<std::size_t>(id)).contains({origin, seq})) {
+      reached.push_back(id);
+    }
+  }
+  return reached;
+}
+
+}  // namespace maxmin::gmp

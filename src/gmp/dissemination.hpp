@@ -1,0 +1,86 @@
+// In-band link-state dissemination (paper §6.2, Step 2).
+//
+// At the end of each measurement period a node broadcasts the state
+// (normalized rate + channel occupancy) of its adjacent wireless links
+// whose state changed. Nodes in the *transmitter's dominating set* — a
+// minimal subset of its one-hop neighbors whose neighborhoods cover its
+// two-hop neighborhood — rebroadcast once, so every node within two hops
+// of the origin receives the state.
+//
+// Broadcasts ride the real MAC (kControl frames: DIFS + backoff, no
+// RTS/CTS, no ACK) and can be lost to collisions; receivers keep the
+// last value heard. The dissemination tests measure the latency and
+// delivery ratio of this machinery under saturated data load, which is
+// what justifies running the default GMP controller with out-of-band
+// control (DESIGN.md §2, substitution 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "phys/frame.hpp"
+#include "topology/link.hpp"
+
+namespace maxmin::gmp {
+
+/// State of one wireless link as carried in dissemination messages.
+struct LinkStateAd {
+  topo::Link link;
+  double normRate = 0.0;
+  double occupancy = 0.0;
+};
+
+/// The broadcast payload: origin + per-origin sequence number for
+/// duplicate suppression, plus the advertised link states.
+struct LinkStateMessage final : phys::ControlMessage {
+  topo::NodeId origin = topo::kNoNode;
+  std::int64_t seq = 0;
+  std::vector<LinkStateAd> states;
+};
+
+class LinkStateDissemination {
+ public:
+  /// Attaches a control handler to every node's stack. The service must
+  /// outlive the network's control traffic.
+  explicit LinkStateDissemination(net::Network& net);
+
+  /// Broadcast `states` from `origin` (one kControl frame; relays fire
+  /// as receptions happen).
+  void announce(topo::NodeId origin, std::vector<LinkStateAd> states);
+
+  /// Link states node `at` currently knows (latest value heard per
+  /// link), including its own announcements.
+  const std::map<topo::Link, LinkStateAd>& knownStates(topo::NodeId at) const {
+    return stores_.at(static_cast<std::size_t>(at));
+  }
+
+  /// Nodes that have received origin's announcement with sequence `seq`.
+  std::vector<topo::NodeId> reachedBy(topo::NodeId origin,
+                                      std::int64_t seq) const;
+
+  /// On-air bytes of a message carrying `n` link states (header + n
+  /// compact entries); determines the broadcast airtime.
+  static DataSize messageSize(std::size_t states);
+
+  std::int64_t messagesSent() const { return messagesSent_; }
+  std::int64_t rebroadcasts() const { return rebroadcasts_; }
+
+ private:
+  void onControl(topo::NodeId receiver, const phys::Frame& frame);
+
+  net::Network& net_;
+  /// relays_[transmitter]: the transmitter's dominating set.
+  std::vector<std::vector<topo::NodeId>> relays_;
+  /// stores_[node]: latest link states known to the node.
+  std::vector<std::map<topo::Link, LinkStateAd>> stores_;
+  /// seen_[node]: (origin, seq) pairs already processed (dedup).
+  std::vector<std::set<std::pair<topo::NodeId, std::int64_t>>> seen_;
+  std::map<topo::NodeId, std::int64_t> nextSeq_;
+  std::int64_t messagesSent_ = 0;
+  std::int64_t rebroadcasts_ = 0;
+};
+
+}  // namespace maxmin::gmp

@@ -1,0 +1,64 @@
+// The GMP decision engine: tests the four local conditions of §5.3
+// against a period Snapshot and emits the rate-limit commands the paper's
+// rate-adjustment machinery (§6.3) would deliver to flow sources.
+//
+// The engine is deliberately substrate-agnostic — it never touches the
+// simulator. Both the packet-level controller (gmp/controller.hpp) and
+// the fluid-model harness (fluid/) drive the same engine, which is what
+// lets fast property tests exercise the exact production decision logic.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gmp/types.hpp"
+#include "topology/cliques.hpp"
+#include "topology/conflict_graph.hpp"
+
+namespace maxmin::gmp {
+
+/// Static contention structure shared by all periods: the conflict graph
+/// over the network's active wireless links and its maximal cliques
+/// (paper §3.3; precomputed from 2-hop topology after deployment, §6.3).
+struct ContentionStructure {
+  std::vector<topo::Link> links;                  ///< sorted
+  std::vector<topo::Clique> cliques;              ///< over indices in links
+  std::vector<std::vector<int>> cliquesOfLink;    ///< link idx -> clique idxs
+
+  static ContentionStructure build(const topo::Topology& topo,
+                                   std::vector<topo::Link> links);
+
+  int linkIndex(topo::Link l) const;
+};
+
+class Engine {
+ public:
+  Engine(ContentionStructure contention, GmpParams params);
+
+  const GmpParams& params() const { return params_; }
+
+  /// Run one adjustment period against the measured snapshot.
+  DecisionReport decide(const Snapshot& snapshot) const;
+
+ private:
+  struct Request {
+    bool reduce = false;
+    double targetPps = 0.0;
+  };
+  using RequestMap = std::map<net::FlowId, std::vector<Request>>;
+
+  void checkSourceAndBufferConditions(const Snapshot& s, RequestMap& requests,
+                                      DecisionReport& report) const;
+  void checkBandwidthCondition(const Snapshot& s, RequestMap& requests,
+                               DecisionReport& report) const;
+  void resolveRequests(const Snapshot& s, const RequestMap& requests,
+                       DecisionReport& report) const;
+
+  double adjustBase(const FlowState& f) const;
+
+  ContentionStructure contention_;
+  GmpParams params_;
+  BetaCompare cmp_;
+};
+
+}  // namespace maxmin::gmp

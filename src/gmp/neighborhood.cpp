@@ -1,0 +1,93 @@
+#include "gmp/neighborhood.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace maxmin::gmp {
+namespace {
+
+bool adjacentTo(const topo::Link& l, topo::NodeId node) {
+  return l.from == node || l.to == node;
+}
+
+std::set<std::vector<topo::Link>> cliquesAsLinkSets(
+    const topo::ConflictGraph& graph, const std::vector<topo::Clique>& cliques,
+    topo::NodeId mustTouch) {
+  std::set<std::vector<topo::Link>> sets;
+  for (const topo::Clique& c : cliques) {
+    std::vector<topo::Link> links;
+    bool touches = false;
+    for (int idx : c.linkIndices) {
+      const topo::Link& l = graph.links()[static_cast<std::size_t>(idx)];
+      links.push_back(l);
+      touches = touches || adjacentTo(l, mustTouch);
+    }
+    if (!touches) continue;
+    std::sort(links.begin(), links.end());
+    sets.insert(std::move(links));
+  }
+  return sets;
+}
+
+}  // namespace
+
+std::vector<topo::Link> LocalView::cliqueLinks(int index) const {
+  MAXMIN_CHECK(index >= 0 && index < static_cast<int>(cliques.size()));
+  std::vector<topo::Link> links;
+  for (int idx : cliques[static_cast<std::size_t>(index)].linkIndices) {
+    links.push_back(knownLinks.at(static_cast<std::size_t>(idx)));
+  }
+  return links;
+}
+
+LocalView buildLocalView(const topo::Topology& topo, topo::NodeId self,
+                         const std::vector<topo::Link>& activeLinks) {
+  LocalView view;
+  view.self = self;
+  view.members = topo.twoHopNeighborhood(self);
+  view.members.insert(
+      std::lower_bound(view.members.begin(), view.members.end(), self), self);
+
+  const std::set<topo::NodeId> memberSet{view.members.begin(),
+                                         view.members.end()};
+  for (const topo::Link& l : activeLinks) {
+    if (memberSet.contains(l.from) && memberSet.contains(l.to)) {
+      view.knownLinks.push_back(l);
+    }
+  }
+  std::sort(view.knownLinks.begin(), view.knownLinks.end());
+
+  if (view.knownLinks.empty()) return view;
+  const topo::ConflictGraph graph{topo, view.knownLinks};
+  MAXMIN_CHECK(graph.links() == view.knownLinks);  // both sorted
+
+  for (topo::Clique& c : topo::enumerateMaximalCliques(graph)) {
+    const bool touchesSelf = std::any_of(
+        c.linkIndices.begin(), c.linkIndices.end(), [&](int idx) {
+          return adjacentTo(view.knownLinks[static_cast<std::size_t>(idx)],
+                            self);
+        });
+    if (touchesSelf) view.cliques.push_back(std::move(c));
+  }
+  return view;
+}
+
+bool localViewIsExact(const topo::Topology& topo,
+                      const std::vector<topo::Link>& activeLinks,
+                      const LocalView& view) {
+  const topo::ConflictGraph global{topo, activeLinks};
+  const auto globalCliques = topo::enumerateMaximalCliques(global);
+  const auto expected = cliquesAsLinkSets(global, globalCliques, view.self);
+
+  std::set<std::vector<topo::Link>> actual;
+  for (int i = 0; i < static_cast<int>(view.cliques.size()); ++i) {
+    auto links = view.cliqueLinks(i);
+    std::sort(links.begin(), links.end());
+    actual.insert(std::move(links));
+  }
+  return actual == expected;
+}
+
+}  // namespace maxmin::gmp

@@ -1,0 +1,148 @@
+// Core GMP vocabulary: link classification (paper §3), the beta-tolerant
+// comparisons of §6.3, and the per-period state snapshot the condition
+// checks run against.
+//
+// Everything in a Snapshot is information a node either measures itself
+// or receives from its 2-hop neighborhood via the paper's dissemination
+// protocol; the Engine consults only the parts a given node would hold.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "topology/cliques.hpp"
+#include "topology/link.hpp"
+
+namespace maxmin::gmp {
+
+/// Paper §3.2. Classification of a (virtual) link (i, j) from the buffer
+/// states of its endpoints.
+enum class LinkType {
+  kUnsaturated,        ///< sender buffer unsaturated
+  kBufferSaturated,    ///< both saturated: downstream bottleneck backpressure
+  kBandwidthSaturated  ///< sender saturated, receiver not: channel is the
+                       ///< bottleneck here
+};
+
+const char* linkTypeName(LinkType t);
+
+LinkType classifyLink(bool senderSaturated, bool receiverSaturated);
+
+/// "Equal"/"smaller" with the paper's beta-percentage tolerance (§6.3):
+/// two values are equal when their difference is below beta percent (of
+/// the larger); smaller means smaller by at least that much.
+class BetaCompare {
+ public:
+  explicit BetaCompare(double beta);
+
+  double beta() const { return beta_; }
+  bool equal(double a, double b) const;
+  bool smaller(double a, double b) const { return a < b && !equal(a, b); }
+
+ private:
+  double beta_;
+};
+
+/// A virtual link (i_t, j_t): wireless link (from, to) within the virtual
+/// network of destination `dest` (paper §5.2).
+struct VirtualLinkKey {
+  topo::NodeId from = topo::kNoNode;
+  topo::NodeId to = topo::kNoNode;
+  topo::NodeId dest = topo::kNoNode;
+
+  friend auto operator<=>(const VirtualLinkKey&, const VirtualLinkKey&) =
+      default;
+
+  topo::Link wireless() const { return topo::Link{from, to}; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const VirtualLinkKey& k) {
+  return os << '(' << k.from << ',' << k.to << ")@" << k.dest;
+}
+
+/// Per-period state of one virtual link, as known to its end nodes.
+struct VLinkState {
+  VirtualLinkKey key;
+  LinkType type = LinkType::kUnsaturated;
+  double ratePps = 0.0;   ///< measured forwarding rate
+  double normRate = 0.0;  ///< mu(i_t, j_t): largest mu carried by packets
+  std::vector<net::FlowId> primaryFlows;  ///< flows attaining normRate
+};
+
+/// Per-period state of one flow, as known at its source.
+struct FlowState {
+  net::FlowId id = net::kNoFlow;
+  topo::NodeId src = topo::kNoNode;
+  topo::NodeId dst = topo::kNoNode;
+  double weight = 1.0;
+  double desiredPps = 0.0;
+  double ratePps = 0.0;  ///< r(f) measured at the source this period
+  std::optional<double> limitPps;
+
+  double mu() const { return ratePps / weight; }
+};
+
+/// Per-period state of one wireless link, as disseminated 2 hops.
+struct WLinkState {
+  topo::Link link;
+  double occupancy = 0.0;  ///< fraction of the period on the air
+  double normRate = 0.0;   ///< max over the link's virtual links
+};
+
+/// Everything measured in one period.
+struct Snapshot {
+  std::vector<FlowState> flows;
+  std::vector<VLinkState> vlinks;
+  std::vector<WLinkState> wlinks;
+  /// Virtual-node saturation: (node, dest) -> Omega above threshold.
+  /// Missing entries mean unsaturated.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, bool> saturated;
+};
+
+/// Rate-limit change for one flow source.
+struct Command {
+  enum class Kind { kSetLimit, kRemoveLimit };
+  net::FlowId flow = net::kNoFlow;
+  Kind kind = Kind::kSetLimit;
+  double limitPps = 0.0;  ///< meaningful for kSetLimit
+};
+
+/// What one adjustment period decided, with diagnostics for tests and
+/// convergence monitoring.
+struct DecisionReport {
+  std::vector<Command> commands;
+  int sourceBufferViolations = 0;  ///< source + buffer-saturated conditions
+  int bandwidthViolations = 0;
+  int reduceRequests = 0;
+  int increaseRequests = 0;
+  int additiveIncreases = 0;
+  int limitsRemoved = 0;
+
+  bool conditionsSatisfied() const {
+    return sourceBufferViolations == 0 && bandwidthViolations == 0;
+  }
+};
+
+/// Protocol parameters (paper §6/§7 defaults).
+struct GmpParams {
+  Duration period = Duration::seconds(4.0);  ///< measurement/adjustment
+  double beta = 0.10;                        ///< equality tolerance
+  double omegaThreshold = 0.25;              ///< buffer-saturation cutoff
+  double bigGapFactor = 3.0;  ///< L1 > 3*S1 triggers halve/double
+  double additiveIncreasePps = 10.0;
+  double minRatePps = 2.0;  ///< floor for rate limits and adjust bases
+
+  /// A rate limit is removed as unnecessary only when the flow's actual
+  /// rate falls below limit * this factor (and the source queue is
+  /// unsaturated). Plain beta slack is too twitchy: additive probing
+  /// routinely leaves the limit ~beta above a fluctuating actual rate,
+  /// and removing a limit that is in fact mediating a congested queue
+  /// lets the local source capture it for several periods.
+  double removeLimitSlackFactor = 0.5;
+};
+
+}  // namespace maxmin::gmp

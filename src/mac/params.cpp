@@ -1,0 +1,6 @@
+#include "mac/params.hpp"
+
+// MacParams is header-only arithmetic; this translation unit exists so the
+// library has a stable archive member and the header stays ODR-clean if
+// out-of-line definitions become necessary later.
+namespace maxmin::mac {}

@@ -1,0 +1,46 @@
+// Per-period measurement records a node reports (paper §6.2, Step 1).
+//
+// These are strictly locally measurable quantities: the node's own queue
+// full-fractions, the packets it forwarded on its downstream virtual
+// links, the packets it received on upstream virtual links, and its local
+// flows' admitted rates.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::net {
+
+/// Traffic seen on one virtual link during a period.
+struct VirtualLinkSample {
+  int packets = 0;
+  /// Per flow, the largest piggybacked normalized rate observed.
+  std::map<FlowId, double> flowMu;
+};
+
+struct NodePeriodMeasurement {
+  topo::NodeId node = topo::kNoNode;
+
+  /// Omega per served destination: fraction of the period the queue for
+  /// that destination was full.
+  std::map<topo::NodeId, double> queueFullFraction;
+
+  /// Downstream virtual links, keyed by destination (next hop is implied
+  /// by routing). Counted at link-layer success (ACK received).
+  std::map<topo::NodeId, VirtualLinkSample> downstream;
+
+  /// Upstream virtual links, keyed by (upstream neighbor, destination).
+  /// Counted at DATA reception.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, VirtualLinkSample> upstream;
+
+  /// Local flows: admitted packet rate (pkts/s) over the period. This is
+  /// r(f) measured at the source.
+  std::map<FlowId, double> localFlowRate;
+
+  double periodSeconds = 0.0;
+};
+
+}  // namespace maxmin::net

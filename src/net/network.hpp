@@ -1,0 +1,103 @@
+// Assembles a complete simulated network: topology, medium, one 802.11
+// MAC and one network stack per node, static routing, and the end-to-end
+// flows. This is the substrate all three protocols (GMP / 2PP / 802.11)
+// run on; they differ only in NetworkConfig and in the controller driving
+// source rate limits.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/dcf.hpp"
+#include "net/config.hpp"
+#include "net/flow.hpp"
+#include "net/node_stack.hpp"
+#include "phys/medium.hpp"
+#include "sim/simulator.hpp"
+#include "topology/link.hpp"
+#include "util/stats.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::net {
+
+class Network final : public NetContext {
+ public:
+  Network(topo::Topology topology, NetworkConfig config,
+          std::vector<FlowSpec> flows);
+  ~Network() override;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- NetContext ----------------------------------------------------------
+  sim::Simulator& simulator() override { return sim_; }
+  const NetworkConfig& config() const override { return config_; }
+  topo::NodeId nextHop(topo::NodeId from, topo::NodeId dest) override;
+  void recordDelivery(const Packet& packet) override;
+
+  // --- structure -----------------------------------------------------------
+  const topo::Topology& topology() const { return topo_; }
+  const std::vector<FlowSpec>& flows() const { return flows_; }
+  const FlowSpec& flow(FlowId id) const;
+  NodeStack& stack(topo::NodeId node);
+  mac::Dcf& macOf(topo::NodeId node);
+  phys::Medium& medium() { return medium_; }
+  const topo::RoutingTree& routeTo(topo::NodeId dest) const;
+
+  /// The flow's full routing path, source to destination inclusive.
+  std::vector<topo::NodeId> pathOf(FlowId id) const;
+  int hopCount(FlowId id) const;
+
+  /// All directed wireless links used by at least one flow, sorted.
+  std::vector<topo::Link> activeLinks() const;
+
+  // --- execution -------------------------------------------------------------
+  void run(Duration d) { sim_.runUntil(sim_.now() + d); }
+  TimePoint now() const { return sim_.now(); }
+
+  // --- rate control (the GMP knob) -------------------------------------------
+  void setRateLimit(FlowId id, std::optional<double> pps);
+  std::optional<double> rateLimit(FlowId id) const;
+  void setSourceMu(FlowId id, double mu);
+
+  // --- end-to-end statistics ---------------------------------------------------
+  std::int64_t delivered(FlowId id) const;
+
+  /// End-to-end latency statistics (generation to sink) per flow.
+  const RunningStats& latencyStats(FlowId id) const;
+
+  struct DeliverySnapshot {
+    TimePoint at;
+    std::map<FlowId, std::int64_t> counts;
+  };
+  DeliverySnapshot snapshotDeliveries() const;
+
+  /// Per-flow delivered packet rate (pkts/s) between two snapshots.
+  static std::map<FlowId, double> ratesBetween(const DeliverySnapshot& from,
+                                               const DeliverySnapshot& to);
+
+  /// Total packets dropped at network queues (802.11 overwrite / 2PP tail
+  /// drops; zero for the lossless per-destination scheme).
+  std::int64_t totalQueueDrops() const;
+
+  // --- measurement plumbing for the GMP driver ---------------------------------
+  NodePeriodMeasurement closeMeasurementWindow(topo::NodeId node);
+  Duration takeLinkOccupancy(topo::NodeId from, topo::NodeId to);
+
+ private:
+  sim::Simulator sim_;
+  topo::Topology topo_;
+  NetworkConfig config_;
+  std::vector<FlowSpec> flows_;
+  phys::Medium medium_;
+  std::vector<std::unique_ptr<NodeStack>> stacks_;
+  std::vector<std::unique_ptr<mac::Dcf>> macs_;
+  std::map<topo::NodeId, topo::RoutingTree> routes_;
+  std::map<FlowId, std::int64_t> delivered_;
+  std::map<FlowId, RunningStats> latencySeconds_;
+};
+
+}  // namespace maxmin::net

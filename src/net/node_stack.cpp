@@ -1,0 +1,383 @@
+#include "net/node_stack.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace maxmin::net {
+
+const char* queueDisciplineName(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::kPerDestination: return "per-destination";
+    case QueueDiscipline::kPerFlow: return "per-flow";
+    case QueueDiscipline::kSharedFifo: return "shared-fifo";
+  }
+  return "?";
+}
+
+void validateFlows(const std::vector<FlowSpec>& flows, int numNodes) {
+  std::vector<FlowId> ids;
+  for (const FlowSpec& f : flows) {
+    MAXMIN_CHECK_MSG(f.id >= 0, "flow id must be non-negative");
+    MAXMIN_CHECK_MSG(f.src >= 0 && f.src < numNodes, "bad flow source");
+    MAXMIN_CHECK_MSG(f.dst >= 0 && f.dst < numNodes, "bad flow destination");
+    MAXMIN_CHECK_MSG(f.src != f.dst, "flow source equals destination");
+    MAXMIN_CHECK_MSG(f.weight > 0.0, "flow weight must be positive");
+    MAXMIN_CHECK_MSG(f.desiredRate.asPerSecond() > 0.0,
+                     "flow desired rate must be positive");
+    ids.push_back(f.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  MAXMIN_CHECK_MSG(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                   "duplicate flow ids");
+}
+
+NodeStack::NodeStack(NetContext& ctx, topo::NodeId self, Rng rng)
+    : ctx_{ctx},
+      self_{self},
+      rng_{rng},
+      holdRetryTimer_{ctx.simulator()},
+      windowStart_{ctx.simulator().now()} {}
+
+TimePoint NodeStack::now() const { return ctx_.simulator().now(); }
+
+// ---------------------------------------------------------------------------
+// Queues
+// ---------------------------------------------------------------------------
+
+NodeStack::QueueKey NodeStack::keyFor(const Packet& p) const {
+  switch (ctx_.config().discipline) {
+    case QueueDiscipline::kPerDestination: return p.dst;
+    case QueueDiscipline::kPerFlow: return p.flow;
+    case QueueDiscipline::kSharedFifo: return kSharedKey;
+  }
+  return kSharedKey;
+}
+
+PacketQueue& NodeStack::queueFor(QueueKey key) {
+  auto it = queues_.find(key);
+  if (it == queues_.end()) {
+    const int capacity = key == kSharedKey
+                             ? ctx_.config().sharedBufferCapacity
+                             : ctx_.config().queueCapacity;
+    it = queues_.emplace(key, PacketQueue{capacity, now()}).first;
+    serviceOrder_.push_back(key);
+  }
+  return it->second;
+}
+
+topo::NodeId NodeStack::destOf(QueueKey key, const PacketQueue& q) const {
+  if (ctx_.config().discipline == QueueDiscipline::kPerDestination) {
+    return static_cast<topo::NodeId>(key);
+  }
+  MAXMIN_CHECK(!q.empty());
+  return q.front()->dst;
+}
+
+bool NodeStack::queueExistsFor(topo::NodeId dest) const {
+  return queues_.contains(static_cast<QueueKey>(dest));
+}
+
+void NodeStack::enqueue(PacketPtr p) {
+  const QueueKey key = keyFor(*p);
+  PacketQueue& q = queueFor(key);
+  if (q.full()) {
+    switch (ctx_.config().discipline) {
+      case QueueDiscipline::kPerDestination:
+        // Congestion avoidance should have held the sender; a transient
+        // overshoot happens only for packets already in flight when the
+        // last slot filled. Accept (soft limit) — the paper's scheme is
+        // lossless.
+        q.pushBack(std::move(p), now());
+        break;
+      case QueueDiscipline::kPerFlow:
+        ++dropsTail_;  // drop-tail on the arriving packet
+        return;
+      case QueueDiscipline::kSharedFifo:
+        ++dropsTail_;  // "overwrite the packet at the tail of the queue"
+        q.overwriteTail(std::move(p));
+        return;
+    }
+  } else {
+    q.pushBack(std::move(p), now());
+  }
+  if (mac_ != nullptr) mac_->notifyTrafficPending();
+}
+
+// ---------------------------------------------------------------------------
+// Flow sources
+// ---------------------------------------------------------------------------
+
+void NodeStack::addLocalFlow(const FlowSpec& spec) {
+  MAXMIN_CHECK_MSG(spec.src == self_, "flow source is a different node");
+  MAXMIN_CHECK(!sources_.contains(spec.id));
+  auto [it, inserted] = sources_.emplace(spec.id, SourceState{});
+  MAXMIN_CHECK(inserted);
+  SourceState& s = it->second;
+  s.spec = spec;
+  s.timer = std::make_unique<sim::Timer>(ctx_.simulator());
+  scheduleNextGeneration(s);
+}
+
+double NodeStack::effectiveRate(const SourceState& s) const {
+  const double desired = s.spec.desiredRate.asPerSecond();
+  return s.limitPps ? std::min(desired, *s.limitPps) : desired;
+}
+
+void NodeStack::scheduleNextGeneration(SourceState& s) {
+  const double rate = effectiveRate(s);
+  MAXMIN_CHECK(rate > 0.0);
+  // +/-10% jitter decorrelates sources that share a rate, as real traffic
+  // generators would; without it, synchronized arrivals beat against the
+  // MAC in lockstep and create artificial phase effects.
+  const double seconds = (1.0 / rate) * rng_.uniformReal(0.9, 1.1);
+  s.timer->arm(Duration::seconds(seconds), [this, flow = s.spec.id] {
+    auto it = sources_.find(flow);
+    MAXMIN_CHECK(it != sources_.end());
+    generate(it->second);
+  });
+}
+
+void NodeStack::generate(SourceState& s) {
+  ++s.counters.generatedAttempts;
+  auto probe = Packet{};
+  probe.flow = s.spec.id;
+  probe.dst = s.spec.dst;
+  PacketQueue& q = queueFor(keyFor(probe));
+  // The source is subject to its own buffer: when the local queue is
+  // full it slows down (paper §2.1: "the flow source will generate new
+  // packets at a smaller rate if the network cannot deliver its desirable
+  // rate") and the would-be packet is simply not generated. Under the
+  // congestion-avoidance scheme this is the backpressure endpoint of
+  // §2.2; under the baselines it models the same source adaptation (an
+  // ungated 800 pkt/s source into a tail-overwrite buffer would
+  // degenerately erase all relayed traffic).
+  if (q.full()) {
+    ++s.counters.blockedBySourceQueue;
+  } else {
+    auto p = std::make_shared<Packet>();
+    p->flow = s.spec.id;
+    p->src = self_;
+    p->dst = s.spec.dst;
+    p->seq = s.seq++;
+    p->size = ctx_.config().packetSize;
+    p->created = now();
+    p->normalizedRate = s.mu;
+    ++s.counters.admitted;
+    ++admittedInWindow_[s.spec.id];
+    enqueue(std::move(p));
+  }
+  scheduleNextGeneration(s);
+}
+
+void NodeStack::setRateLimit(FlowId flow, std::optional<double> pps) {
+  auto it = sources_.find(flow);
+  MAXMIN_CHECK_MSG(it != sources_.end(), "no local flow " << flow);
+  if (pps) MAXMIN_CHECK(*pps > 0.0);
+  it->second.limitPps = pps;
+  // Re-arm so a large reduction takes effect now, not after the previously
+  // scheduled (possibly much earlier) tick.
+  scheduleNextGeneration(it->second);
+}
+
+std::optional<double> NodeStack::rateLimit(FlowId flow) const {
+  const auto it = sources_.find(flow);
+  MAXMIN_CHECK(it != sources_.end());
+  return it->second.limitPps;
+}
+
+void NodeStack::setSourceMu(FlowId flow, double mu) {
+  auto it = sources_.find(flow);
+  MAXMIN_CHECK(it != sources_.end());
+  it->second.mu = mu;
+}
+
+double NodeStack::sourceMu(FlowId flow) const {
+  const auto it = sources_.find(flow);
+  MAXMIN_CHECK(it != sources_.end());
+  return it->second.mu;
+}
+
+const SourceCounters& NodeStack::sourceCounters(FlowId flow) const {
+  const auto it = sources_.find(flow);
+  MAXMIN_CHECK(it != sources_.end());
+  return it->second.counters;
+}
+
+std::vector<FlowId> NodeStack::localFlows() const {
+  std::vector<FlowId> ids;
+  for (const auto& [id, s] : sources_) ids.push_back(id);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure (congestion avoidance of [3])
+// ---------------------------------------------------------------------------
+
+bool NodeStack::heldByBackpressure(topo::NodeId nextHopNode,
+                                   topo::NodeId dest,
+                                   TimePoint& expiry) const {
+  const auto it = neighborBufferState_.find({nextHopNode, dest});
+  if (it == neighborBufferState_.end() || !it->second.full) return false;
+  const TimePoint lapse = it->second.heard + ctx_.config().holdStateTimeout;
+  if (now() >= lapse) return false;  // stale advertisement: try anyway
+  expiry = lapse;
+  return true;
+}
+
+void NodeStack::armHoldRetry(TimePoint earliestExpiry) {
+  const Duration wait =
+      std::max(earliestExpiry - now(), Duration::micros(1));
+  holdRetryTimer_.arm(wait, [this] {
+    if (mac_ != nullptr) mac_->notifyTrafficPending();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// mac::FrameClient
+// ---------------------------------------------------------------------------
+
+std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
+  if (serviceOrder_.empty()) return std::nullopt;
+  const std::size_t n = serviceOrder_.size();
+  bool anyHeld = false;
+  TimePoint earliestExpiry = TimePoint::max();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (nextService_ + step) % n;
+    const QueueKey key = serviceOrder_[idx];
+    PacketQueue& q = queues_.at(key);
+    if (q.empty()) continue;
+    const topo::NodeId dest = destOf(key, q);
+    const topo::NodeId nh = ctx_.nextHop(self_, dest);
+    MAXMIN_CHECK_MSG(nh != topo::kNoNode,
+                     "no route from " << self_ << " to " << dest);
+    if (ctx_.config().congestionAvoidance) {
+      // The advertised buffer-state key: the destination for per-
+      // destination queueing, the shared sentinel otherwise.
+      const topo::NodeId bpKey =
+          ctx_.config().discipline == QueueDiscipline::kPerDestination
+              ? dest
+              : topo::kNoNode;
+      TimePoint expiry;
+      if (heldByBackpressure(nh, bpKey, expiry)) {
+        anyHeld = true;
+        earliestExpiry = std::min(earliestExpiry, expiry);
+        continue;
+      }
+    }
+    nextService_ = (idx + 1) % n;
+    PacketPtr p = q.popFront(now());
+    return mac::TxRequest{nh, p, p->size};
+  }
+  if (anyHeld) armHoldRetry(earliestExpiry);
+  return std::nullopt;
+}
+
+void NodeStack::onTxSuccess(const mac::TxRequest& request) {
+  VirtualLinkSample& s = downSample_[request.packet->dst];
+  ++s.packets;
+  double& mu = s.flowMu[request.packet->flow];
+  mu = std::max(mu, request.packet->normalizedRate);
+  (void)request;
+}
+
+void NodeStack::onTxFailure(const mac::TxRequest& request) {
+  // Keep the packet: the paper's protocols are lossless above the MAC.
+  // Re-offer it at the head of its queue; the MAC will retry with a fresh
+  // contention round.
+  queueFor(keyFor(*request.packet)).pushFront(request.packet, now());
+  if (mac_ != nullptr) mac_->notifyTrafficPending();
+}
+
+void NodeStack::onDataReceived(const phys::Frame& frame) {
+  MAXMIN_CHECK(frame.packet != nullptr);
+  const Packet& p = *frame.packet;
+  // Duplicate suppression (the MAC still ACKed the retransmission).
+  if (auto it = lastSeqAccepted_.find(p.flow);
+      it != lastSeqAccepted_.end() && p.seq <= it->second) {
+    ++duplicatesDropped_;
+    return;
+  }
+  lastSeqAccepted_[p.flow] = p.seq;
+  VirtualLinkSample& s = upSample_[{frame.transmitter, p.dst}];
+  ++s.packets;
+  double& mu = s.flowMu[p.flow];
+  mu = std::max(mu, p.normalizedRate);
+  if (p.dst == self_) {
+    ctx_.recordDelivery(p);
+  } else {
+    enqueue(frame.packet);
+  }
+}
+
+std::vector<phys::BufferStateAd> NodeStack::currentBufferState() {
+  std::vector<phys::BufferStateAd> ads;
+  switch (ctx_.config().discipline) {
+    case QueueDiscipline::kPerDestination:
+      ads.reserve(queues_.size());
+      for (const auto& [key, q] : queues_) {
+        ads.push_back(
+            phys::BufferStateAd{static_cast<topo::NodeId>(key), q.full()});
+      }
+      break;
+    case QueueDiscipline::kSharedFifo:
+      // One buffer for everything (Fig. 1(b) mode): a single state bit,
+      // keyed by the "any destination" sentinel.
+      if (const auto it = queues_.find(kSharedKey); it != queues_.end()) {
+        ads.push_back(phys::BufferStateAd{topo::kNoNode, it->second.full()});
+      }
+      break;
+    case QueueDiscipline::kPerFlow:
+      break;  // 2PP does not use the congestion-avoidance scheme
+  }
+  return ads;
+}
+
+void NodeStack::onControlReceived(const phys::Frame& frame) {
+  if (controlHandler_) controlHandler_(frame);
+}
+
+void NodeStack::onFrameDecoded(const phys::Frame& frame) {
+  if (frame.bufferState.empty()) return;
+  bool anyCleared = false;
+  for (const phys::BufferStateAd& ad : frame.bufferState) {
+    auto& entry = neighborBufferState_[{frame.transmitter, ad.destination}];
+    if (entry.full && !ad.full) anyCleared = true;
+    entry.full = ad.full;
+    entry.heard = now();
+  }
+  if (anyCleared && mac_ != nullptr) mac_->notifyTrafficPending();
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+NodePeriodMeasurement NodeStack::closeMeasurementWindow() {
+  NodePeriodMeasurement m;
+  m.node = self_;
+  const TimePoint end = now();
+  m.periodSeconds = (end - windowStart_).asSeconds();
+  MAXMIN_CHECK(m.periodSeconds > 0.0);
+
+  if (ctx_.config().discipline == QueueDiscipline::kPerDestination) {
+    for (auto& [key, q] : queues_) {
+      m.queueFullFraction[static_cast<topo::NodeId>(key)] =
+          q.fullFraction(windowStart_, end);
+      q.beginWindow(end);
+    }
+  }
+  m.downstream = std::move(downSample_);
+  m.upstream = std::move(upSample_);
+  downSample_.clear();
+  upSample_.clear();
+  for (auto& [flow, count] : admittedInWindow_) {
+    m.localFlowRate[flow] = static_cast<double>(count) / m.periodSeconds;
+  }
+  admittedInWindow_.clear();
+  windowStart_ = end;
+  return m;
+}
+
+}  // namespace maxmin::net

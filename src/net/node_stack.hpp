@@ -1,0 +1,164 @@
+// Per-node network layer: queueing, congestion-avoidance backpressure,
+// forwarding, local flow sources, and measurement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/dcf.hpp"
+#include "mac/frame_client.hpp"
+#include "net/config.hpp"
+#include "net/flow.hpp"
+#include "net/measurement.hpp"
+#include "net/packet_queue.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace maxmin::net {
+
+/// Services the stack needs from the surrounding network. Implemented by
+/// net::Network; a test double suffices for unit tests.
+class NetContext {
+ public:
+  virtual ~NetContext() = default;
+  virtual sim::Simulator& simulator() = 0;
+  virtual const NetworkConfig& config() const = 0;
+  /// Next hop from `from` toward `dest` (routing); kNoNode if none.
+  virtual topo::NodeId nextHop(topo::NodeId from, topo::NodeId dest) = 0;
+  /// An end-to-end delivery reached its destination.
+  virtual void recordDelivery(const Packet& packet) = 0;
+};
+
+struct SourceCounters {
+  std::int64_t generatedAttempts = 0;  ///< timer fires
+  std::int64_t admitted = 0;           ///< packets that entered the queue
+  std::int64_t blockedBySourceQueue = 0;
+};
+
+class NodeStack final : public mac::FrameClient {
+ public:
+  NodeStack(NetContext& ctx, topo::NodeId self, Rng rng);
+
+  NodeStack(const NodeStack&) = delete;
+  NodeStack& operator=(const NodeStack&) = delete;
+
+  void attachMac(mac::Dcf* mac) { mac_ = mac; }
+  topo::NodeId self() const { return self_; }
+
+  // --- flow sources --------------------------------------------------------
+  /// Register a flow whose source is this node and start generating at
+  /// min(desiredRate, rate limit).
+  void addLocalFlow(const FlowSpec& spec);
+
+  /// Set/replace the self-imposed rate limit (GMP's control knob), or
+  /// remove it with nullopt. Takes effect immediately.
+  void setRateLimit(FlowId flow, std::optional<double> pps);
+  std::optional<double> rateLimit(FlowId flow) const;
+
+  /// Update the normalized rate the source stamps on new packets.
+  void setSourceMu(FlowId flow, double mu);
+  double sourceMu(FlowId flow) const;
+
+  const SourceCounters& sourceCounters(FlowId flow) const;
+  std::vector<FlowId> localFlows() const;
+
+  // --- measurement (paper §6.2) ---------------------------------------------
+  /// Close the current measurement window: returns everything measured
+  /// since the last close and restarts all accumulators.
+  NodePeriodMeasurement closeMeasurementWindow();
+
+  /// Instantaneous saturation check used by tests.
+  bool queueExistsFor(topo::NodeId dest) const;
+
+  std::int64_t dropsTail() const { return dropsTail_; }
+  std::int64_t duplicatesDropped() const { return duplicatesDropped_; }
+
+  /// Route decoded broadcast control frames to a control-plane module
+  /// (e.g. gmp::LinkStateDissemination). At most one handler.
+  void setControlHandler(std::function<void(const phys::Frame&)> handler) {
+    controlHandler_ = std::move(handler);
+  }
+
+  // --- mac::FrameClient ------------------------------------------------------
+  std::optional<mac::TxRequest> nextTxRequest() override;
+  void onTxSuccess(const mac::TxRequest& request) override;
+  void onTxFailure(const mac::TxRequest& request) override;
+  void onDataReceived(const phys::Frame& frame) override;
+  std::vector<phys::BufferStateAd> currentBufferState() override;
+  void onFrameDecoded(const phys::Frame& frame) override;
+  void onControlReceived(const phys::Frame& frame) override;
+
+ private:
+  struct SourceState {
+    FlowSpec spec;
+    std::optional<double> limitPps;
+    double mu = 0.0;
+    SourceCounters counters;
+    std::int64_t seq = 0;
+    std::unique_ptr<sim::Timer> timer;
+  };
+
+  /// Queue key: destination (per-destination), flow id (per-flow), or the
+  /// shared sentinel.
+  using QueueKey = std::int64_t;
+  static constexpr QueueKey kSharedKey = -1;
+
+  QueueKey keyFor(const Packet& p) const;
+  PacketQueue& queueFor(QueueKey key);
+  topo::NodeId destOf(QueueKey key, const PacketQueue& q) const;
+
+  void generate(SourceState& s);
+  void scheduleNextGeneration(SourceState& s);
+  double effectiveRate(const SourceState& s) const;
+  void enqueue(PacketPtr p);
+
+  /// True when congestion avoidance currently forbids sending to
+  /// `nextHopNode` for `dest`. Sets `expiry` to when the verdict lapses.
+  bool heldByBackpressure(topo::NodeId nextHopNode, topo::NodeId dest,
+                          TimePoint& expiry) const;
+  void armHoldRetry(TimePoint earliestExpiry);
+
+  TimePoint now() const;
+
+  NetContext& ctx_;
+  const topo::NodeId self_;
+  Rng rng_;
+  mac::Dcf* mac_ = nullptr;
+
+  std::map<QueueKey, PacketQueue> queues_;
+  std::vector<QueueKey> serviceOrder_;  ///< round-robin ring
+  std::size_t nextService_ = 0;
+
+  std::map<FlowId, SourceState> sources_;
+
+  /// Cached piggybacked buffer state: (neighbor, dest) -> (full, heard at).
+  struct CachedBufferState {
+    bool full = false;
+    TimePoint heard;
+  };
+  std::map<std::pair<topo::NodeId, topo::NodeId>, CachedBufferState>
+      neighborBufferState_;
+  sim::Timer holdRetryTimer_;
+  std::function<void(const phys::Frame&)> controlHandler_;
+
+  // Measurement accumulators (reset per window).
+  TimePoint windowStart_;
+  std::map<topo::NodeId, VirtualLinkSample> downSample_;
+  std::map<std::pair<topo::NodeId, topo::NodeId>, VirtualLinkSample> upSample_;
+  std::map<FlowId, std::int64_t> admittedInWindow_;
+
+  std::int64_t dropsTail_ = 0;
+
+  /// 802.11-style duplicate suppression: a lost ACK makes the sender
+  /// retransmit a DATA frame the receiver already has. Per-flow delivery
+  /// is in order (one path, FIFO queues), so a non-increasing sequence
+  /// number identifies the duplicate.
+  std::map<FlowId, std::int64_t> lastSeqAccepted_;
+  std::int64_t duplicatesDropped_ = 0;
+};
+
+}  // namespace maxmin::net

@@ -1,0 +1,34 @@
+// Network-layer data packet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace maxmin::net {
+
+using FlowId = int;
+inline constexpr FlowId kNoFlow = -1;
+
+struct Packet {
+  FlowId flow = kNoFlow;
+  topo::NodeId src = topo::kNoNode;
+  topo::NodeId dst = topo::kNoNode;
+  std::int64_t seq = 0;
+  DataSize size = DataSize::bytes(1024);
+  TimePoint created;
+
+  /// Piggybacked normalized rate of the flow, mu(f) = r(f)/w(f), as
+  /// measured at the source for the period in which this packet was
+  /// generated (paper §4.2/§6.2). Links take the max over passing packets
+  /// as the link's normalized rate, and the packets carrying that max
+  /// identify the primary flows.
+  double normalizedRate = 0.0;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+}  // namespace maxmin::net

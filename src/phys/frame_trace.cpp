@@ -1,0 +1,87 @@
+#include "phys/frame_trace.hpp"
+
+#include <ostream>
+
+namespace maxmin::phys {
+namespace {
+
+const char* eventName(FrameTrace::EventKind kind) {
+  switch (kind) {
+    case FrameTrace::EventKind::kTxStart: return "TX  ";
+    case FrameTrace::EventKind::kDelivery: return "RX  ";
+    case FrameTrace::EventKind::kCorruption: return "COLL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FrameTrace::FrameTrace(std::size_t capacity) : capacity_{capacity} {}
+
+bool FrameTrace::passes(const Frame& frame, topo::NodeId receiver) const {
+  if (kindFilter_ && frame.kind != *kindFilter_) return false;
+  if (nodeFilter_ && frame.transmitter != *nodeFilter_ &&
+      frame.addressee != *nodeFilter_ && receiver != *nodeFilter_) {
+    return false;
+  }
+  return true;
+}
+
+void FrameTrace::record(Event event) {
+  ++totalObserved_;
+  if (events_.size() >= capacity_) {
+    // Drop the oldest half to amortize (keeps the trace bounded without
+    // per-event shifting).
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2));
+  }
+  events_.push_back(event);
+}
+
+void FrameTrace::onTransmissionStart(const Frame& frame, TimePoint at) {
+  if (!passes(frame, topo::kNoNode)) return;
+  record(Event{at, EventKind::kTxStart, frame.kind, frame.transmitter,
+               frame.addressee, topo::kNoNode});
+}
+
+void FrameTrace::onDelivery(const Frame& frame, topo::NodeId receiver,
+                            TimePoint at) {
+  if (receiver == frame.addressee) {
+    ++linkStats_[topo::Link{frame.transmitter, frame.addressee}].delivered;
+  }
+  if (!passes(frame, receiver)) return;
+  record(Event{at, EventKind::kDelivery, frame.kind, frame.transmitter,
+               frame.addressee, receiver});
+}
+
+void FrameTrace::onCorruption(const Frame& frame, topo::NodeId receiver,
+                              TimePoint at) {
+  if (receiver == frame.addressee) {
+    ++linkStats_[topo::Link{frame.transmitter, frame.addressee}].corrupted;
+  }
+  if (!passes(frame, receiver)) return;
+  record(Event{at, EventKind::kCorruption, frame.kind, frame.transmitter,
+               frame.addressee, receiver});
+}
+
+void FrameTrace::dump(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << "t=" << e.at.asMicros() << "us " << eventName(e.kind) << ' '
+       << frameKindName(e.frame) << ' ' << e.transmitter << '>';
+    if (e.addressee == topo::kNoNode) {
+      os << '*';
+    } else {
+      os << e.addressee;
+    }
+    if (e.receiver != topo::kNoNode) os << " rx=" << e.receiver;
+    os << '\n';
+  }
+}
+
+void FrameTrace::clear() {
+  events_.clear();
+  linkStats_.clear();
+  totalObserved_ = 0;
+}
+
+}  // namespace maxmin::phys

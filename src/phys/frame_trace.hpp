@@ -1,0 +1,84 @@
+// ns-2-style frame trace: records every transmission, delivery and
+// corruption on the medium, with filtering, a text dump, and per-link
+// summary statistics (exchange counts, corruption ratios).
+//
+// Attach with medium.setObserver(&trace). Tracing a long saturated run
+// records millions of events; use the filters or the bounded capacity.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "phys/medium.hpp"
+#include "topology/link.hpp"
+
+namespace maxmin::phys {
+
+class FrameTrace final : public MediumObserver {
+ public:
+  enum class EventKind { kTxStart, kDelivery, kCorruption };
+
+  struct Event {
+    TimePoint at;
+    EventKind kind;
+    FrameKind frame;
+    topo::NodeId transmitter = topo::kNoNode;
+    topo::NodeId addressee = topo::kNoNode;  // kNoNode = broadcast
+    topo::NodeId receiver = topo::kNoNode;   // for delivery/corruption
+  };
+
+  /// `capacity`: maximum retained events; older events are discarded
+  /// (the summary statistics keep counting regardless).
+  explicit FrameTrace(std::size_t capacity = 100000);
+
+  /// Record only events involving this node (as transmitter or receiver).
+  void filterNode(std::optional<topo::NodeId> node) { nodeFilter_ = node; }
+  /// Record only events of this frame kind.
+  void filterKind(std::optional<FrameKind> kind) { kindFilter_ = kind; }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t totalObserved() const { return totalObserved_; }
+
+  /// Per directed wireless link (transmitter -> addressee): frames
+  /// delivered and corrupted at the addressee.
+  struct LinkStats {
+    std::int64_t delivered = 0;
+    std::int64_t corrupted = 0;
+    double corruptionRatio() const {
+      const auto total = delivered + corrupted;
+      return total == 0 ? 0.0
+                        : static_cast<double>(corrupted) / total;
+    }
+  };
+  const std::map<topo::Link, LinkStats>& linkStats() const {
+    return linkStats_;
+  }
+
+  /// One line per retained event: "t=<us> KIND FRAME tx>addr [rx=...]".
+  void dump(std::ostream& os) const;
+
+  void clear();
+
+  // MediumObserver
+  void onTransmissionStart(const Frame& frame, TimePoint at) override;
+  void onDelivery(const Frame& frame, topo::NodeId receiver,
+                  TimePoint at) override;
+  void onCorruption(const Frame& frame, topo::NodeId receiver,
+                    TimePoint at) override;
+
+ private:
+  bool passes(const Frame& frame, topo::NodeId receiver) const;
+  void record(Event event);
+
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  std::optional<topo::NodeId> nodeFilter_;
+  std::optional<FrameKind> kindFilter_;
+  std::map<topo::Link, LinkStats> linkStats_;
+  std::uint64_t totalObserved_ = 0;
+};
+
+}  // namespace maxmin::phys

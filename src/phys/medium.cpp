@@ -1,0 +1,160 @@
+#include "phys/medium.hpp"
+
+#include "util/check.hpp"
+
+namespace maxmin::phys {
+
+const char* frameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kRts: return "RTS";
+    case FrameKind::kCts: return "CTS";
+    case FrameKind::kData: return "DATA";
+    case FrameKind::kAck: return "ACK";
+    case FrameKind::kControl: return "CTRL";
+  }
+  return "?";
+}
+
+Medium::Medium(sim::Simulator& sim, const topo::Topology& topo)
+    : sim_{sim}, topo_{topo} {
+  const auto n = static_cast<std::size_t>(topo.numNodes());
+  radios_.assign(n, nullptr);
+  energy_.assign(n, 0);
+  transmitting_.assign(n, false);
+  inTxRange_.assign(n, {});
+  inCsRange_.assign(n, {});
+  for (topo::NodeId a = 0; a < topo.numNodes(); ++a) {
+    for (topo::NodeId b = 0; b < topo.numNodes(); ++b) {
+      if (a == b) continue;
+      if (topo.areNeighbors(a, b))
+        inTxRange_[static_cast<std::size_t>(a)].push_back(b);
+      if (topo.inCsRange(a, b))
+        inCsRange_[static_cast<std::size_t>(a)].push_back(b);
+    }
+  }
+}
+
+void Medium::attachRadio(topo::NodeId id, RadioListener* listener) {
+  MAXMIN_CHECK(listener != nullptr);
+  auto& slot = radios_.at(static_cast<std::size_t>(id));
+  MAXMIN_CHECK_MSG(slot == nullptr, "radio " << id << " attached twice");
+  slot = listener;
+}
+
+void Medium::raiseEnergy(topo::NodeId at) {
+  auto& e = energy_.at(static_cast<std::size_t>(at));
+  if (++e == 1) {
+    if (auto* r = radios_[static_cast<std::size_t>(at)]) r->onChannelBusy();
+  }
+}
+
+void Medium::lowerEnergy(topo::NodeId at) {
+  auto& e = energy_.at(static_cast<std::size_t>(at));
+  MAXMIN_CHECK(e > 0);
+  if (--e == 0) {
+    if (auto* r = radios_[static_cast<std::size_t>(at)]) r->onChannelIdle();
+  }
+}
+
+void Medium::startTransmission(const Frame& frame) {
+  const topo::NodeId sender = frame.transmitter;
+  MAXMIN_CHECK(sender >= 0 && sender < topo_.numNodes());
+  MAXMIN_CHECK_MSG(!transmitting_.at(static_cast<std::size_t>(sender)),
+                   "node " << sender << " already transmitting");
+  MAXMIN_CHECK(frame.duration > Duration::zero());
+  MAXMIN_CHECK(radios_.at(static_cast<std::size_t>(sender)) != nullptr);
+
+  transmitting_[static_cast<std::size_t>(sender)] = true;
+
+  ActiveTx tx;
+  tx.frame = frame;
+  tx.end = sim_.now() + frame.duration;
+
+  // Pending receptions: every node in decode range. Corrupt on arrival if
+  // the receiver already senses other energy or is itself transmitting.
+  for (topo::NodeId r : inTxRange_[static_cast<std::size_t>(sender)]) {
+    const bool corrupted = transmitting_[static_cast<std::size_t>(r)] ||
+                           energy_[static_cast<std::size_t>(r)] > 0;
+    tx.receptions.push_back(PendingRx{r, corrupted});
+  }
+
+  // This transmission corrupts any in-flight reception at a node that
+  // senses it.
+  for (ActiveTx& other : active_) {
+    if (other.frame.transmitter == topo::kNoNode) continue;  // finished slot
+    for (PendingRx& rx : other.receptions) {
+      if (!rx.corrupted && topo_.inCsRange(sender, rx.receiver)) {
+        rx.corrupted = true;
+      }
+    }
+  }
+
+  // A node beginning to transmit loses anything it was receiving.
+  for (ActiveTx& other : active_) {
+    if (other.frame.transmitter == topo::kNoNode) continue;
+    for (PendingRx& rx : other.receptions) {
+      if (rx.receiver == sender) rx.corrupted = true;
+    }
+  }
+
+  for (topo::NodeId n : inCsRange_[static_cast<std::size_t>(sender)]) {
+    raiseEnergy(n);
+  }
+
+  // Find or create a slot for the active transmission.
+  std::size_t slot = active_.size();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].frame.transmitter == topo::kNoNode) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == active_.size()) {
+    active_.push_back(std::move(tx));
+  } else {
+    active_[slot] = std::move(tx);
+  }
+  if (observer_ != nullptr) observer_->onTransmissionStart(frame, sim_.now());
+  sim_.schedule(frame.duration, [this, slot] { finishTransmission(slot); });
+}
+
+void Medium::finishTransmission(std::size_t slot) {
+  // Move the record out and free the slot before running callbacks, which
+  // may start new transmissions immediately (SIFS=0 is not allowed, but
+  // zero-delay follow-ups in tests are).
+  ActiveTx tx = std::move(active_.at(slot));
+  active_[slot].frame.transmitter = topo::kNoNode;
+  active_[slot].receptions.clear();
+
+  const topo::NodeId sender = tx.frame.transmitter;
+  MAXMIN_CHECK(sender != topo::kNoNode);
+  transmitting_[static_cast<std::size_t>(sender)] = false;
+
+  for (topo::NodeId n : inCsRange_[static_cast<std::size_t>(sender)]) {
+    lowerEnergy(n);
+  }
+
+  for (const PendingRx& rx : tx.receptions) {
+    auto* radio = radios_[static_cast<std::size_t>(rx.receiver)];
+    if (radio == nullptr) continue;
+    // Receptions that end while the receiver transmits are lost even if
+    // the overlap began after the corruption scan (same-instant starts).
+    const bool corrupt =
+        rx.corrupted || transmitting_[static_cast<std::size_t>(rx.receiver)];
+    if (corrupt) {
+      ++framesCorrupted_;
+      if (observer_ != nullptr) {
+        observer_->onCorruption(tx.frame, rx.receiver, sim_.now());
+      }
+      radio->onFrameCorrupted(tx.frame);
+    } else {
+      ++framesDelivered_;
+      if (observer_ != nullptr) {
+        observer_->onDelivery(tx.frame, rx.receiver, sim_.now());
+      }
+      radio->onFrameReceived(tx.frame);
+    }
+  }
+}
+
+}  // namespace maxmin::phys

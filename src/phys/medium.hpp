@@ -1,0 +1,105 @@
+// Shared wireless medium with the protocol-interference collision model
+// used by ns-2-era 802.11 studies (and by the paper):
+//
+//  * frames decode within txRange;
+//  * energy is sensed within csRange (>= txRange);
+//  * a reception is corrupted iff any other transmission whose sender is
+//    within csRange of the receiver overlaps it in time, or the receiver
+//    itself transmits during it (half-duplex). No capture effect.
+//
+// Propagation delay is zero: at 250 m it is under 1 us, below our clock
+// resolution and irrelevant to the rate dynamics studied here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phys/frame.hpp"
+#include "phys/radio.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::phys {
+
+/// Passive observer of everything that happens on the medium; the hook
+/// behind phys::FrameTrace. All callbacks are optional.
+class MediumObserver {
+ public:
+  virtual ~MediumObserver() = default;
+  virtual void onTransmissionStart(const Frame& frame, TimePoint at) {
+    (void)frame;
+    (void)at;
+  }
+  virtual void onDelivery(const Frame& frame, topo::NodeId receiver,
+                          TimePoint at) {
+    (void)frame;
+    (void)receiver;
+    (void)at;
+  }
+  virtual void onCorruption(const Frame& frame, topo::NodeId receiver,
+                            TimePoint at) {
+    (void)frame;
+    (void)receiver;
+    (void)at;
+  }
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, const topo::Topology& topo);
+
+  /// Attach a passive observer (nullptr detaches). Must outlive traffic.
+  void setObserver(MediumObserver* observer) { observer_ = observer; }
+
+  /// Attach the MAC for node `id`. Must be called for every node before
+  /// the first transmission. The listener must outlive the medium.
+  void attachRadio(topo::NodeId id, RadioListener* listener);
+
+  /// Begin transmitting `frame` from `frame.transmitter` now, for
+  /// `frame.duration`. The sender must not already be transmitting.
+  void startTransmission(const Frame& frame);
+
+  /// True if node `id` currently senses energy from another transmitter.
+  bool senseBusy(topo::NodeId id) const {
+    return energy_.at(static_cast<std::size_t>(id)) > 0;
+  }
+
+  bool isTransmitting(topo::NodeId id) const {
+    return transmitting_.at(static_cast<std::size_t>(id));
+  }
+
+  const topo::Topology& topology() const { return topo_; }
+
+  // --- diagnostics -------------------------------------------------------
+  std::uint64_t framesDelivered() const { return framesDelivered_; }
+  std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+
+ private:
+  struct PendingRx {
+    topo::NodeId receiver;
+    bool corrupted;
+  };
+  struct ActiveTx {
+    Frame frame;
+    TimePoint end;
+    std::vector<PendingRx> receptions;
+  };
+
+  void finishTransmission(std::size_t slot);
+  void raiseEnergy(topo::NodeId at);
+  void lowerEnergy(topo::NodeId at);
+
+  sim::Simulator& sim_;
+  const topo::Topology& topo_;
+  std::vector<RadioListener*> radios_;
+  std::vector<int> energy_;          // sensed transmitter count per node
+  std::vector<bool> transmitting_;
+  std::vector<ActiveTx> active_;     // slot reused when frame.transmitter == kNoNode
+  std::vector<std::vector<topo::NodeId>> inTxRange_;  // per node, ascending
+  std::vector<std::vector<topo::NodeId>> inCsRange_;
+  std::uint64_t framesDelivered_ = 0;
+  std::uint64_t framesCorrupted_ = 0;
+  MediumObserver* observer_ = nullptr;
+};
+
+}  // namespace maxmin::phys

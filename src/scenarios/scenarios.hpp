@@ -1,0 +1,59 @@
+// Canned evaluation scenarios: the paper's Figures 1-4 plus generic
+// chains, grids and random meshes for wider testing.
+//
+// Geometry notes. All scenarios use the default radio model (250 m tx,
+// 550 m carrier sense) unless stated. The paper gives topologies as
+// abstract figures; node coordinates here are chosen so that the link
+// contention structure matches the figures exactly, and scenario tests
+// assert that (e.g. Fig. 2's two cliques).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::scenarios {
+
+struct Scenario {
+  std::string name;
+  topo::Topology topology;
+  std::vector<net::FlowSpec> flows;
+};
+
+/// Paper Fig. 2: chains 0-1-2 and 3-4-5 with cliques
+/// {(0,1),(1,2)} (clique 0) and {(1,2),(3,4),(4,5)} (clique 1).
+/// Flows (all single-hop): f1: 0->1, f2: 1->2, f3: 3->4, f4: 4->5.
+/// `weights` are applied in flow order f1..f4 (Table 1 uses all ones,
+/// Table 2 uses {1,2,1,3}).
+Scenario fig2(std::vector<double> weights = {1, 1, 1, 1});
+
+/// Paper Fig. 3: four-node chain 0-1-2-3 with flows <0,3>, <1,3>, <2,3>.
+Scenario fig3();
+
+/// Paper Fig. 4: four parallel three-node chains; adjacent chains
+/// contend, chains two apart do not. Per chain k (0-based), the odd flow
+/// f_{2k+1} runs the full chain (2 hops) and the even flow f_{2k+2} is
+/// the last hop (1 hop). Eight flows total.
+Scenario fig4();
+
+/// Paper Fig. 1: f1: x->i->j->z->t crosses a bottleneck at (z,t)
+/// (created by a heavy contending one-hop flow f3: a->b near z-t);
+/// f2: y->i->j->v shares nodes i, j with f1 but has an idle path.
+/// Node ids: x=0, y=1, i=2, j=3, z=4, t=5, v=6, a=7, b=8.
+Scenario fig1();
+
+/// A straight chain of `nodes` nodes spaced `spacing` meters, with a
+/// single end-to-end flow 0 -> nodes-1.
+Scenario chain(int nodes, double spacing = 200.0,
+               double desiredPps = 800.0);
+
+/// Random connected mesh: `nodes` nodes uniform in a square of side
+/// `areaSide`, `numFlows` random multi-hop flows. Retries seeds until the
+/// sampled src/dst pairs are connected.
+Scenario randomMesh(std::uint64_t seed, int nodes, double areaSide,
+                    int numFlows, double desiredPps = 800.0);
+
+}  // namespace maxmin::scenarios

@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace maxmin::sim {
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  MAXMIN_CHECK(delay >= Duration::zero());
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::scheduleAt(TimePoint when, std::function<void()> fn) {
+  MAXMIN_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                                     << " < now " << now_);
+  MAXMIN_CHECK(fn != nullptr);
+  const EventId id = nextId_++;
+  queue_.push(Entry{when, id, nextSeq_++, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  // Lazy deletion: remember the id; skip the entry when it surfaces.
+  cancelled_.insert(id);
+}
+
+bool Simulator::popLive(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the function object must be moved out,
+    // so copy the POD parts first and const_cast for the move. The entry is
+    // popped immediately after, so no observer can see the moved-from state.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    out = Entry{top.when, top.id, top.seq, std::move(top.fn)};
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!popLive(e)) return false;
+  MAXMIN_CHECK(e.when >= now_);
+  now_ = e.when;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::runUntil(TimePoint until) {
+  MAXMIN_CHECK(until >= now_);
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without executing.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    step();
+  }
+  now_ = until;
+}
+
+}  // namespace maxmin::sim

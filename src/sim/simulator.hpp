@@ -1,0 +1,83 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events at equal timestamps execute in
+// scheduling order (FIFO by sequence number), so a run is a pure function of
+// the scenario and its RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace maxmin::sim {
+
+/// Token identifying a scheduled event; usable to cancel it.
+/// Value 0 is reserved and never issued.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` from now. Zero delay runs after all
+  /// events already scheduled for the current instant.
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute instant; must not be in the past.
+  EventId scheduleAt(TimePoint when, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op, which lets callers keep stale
+  /// handles without bookkeeping.
+  void cancel(EventId id);
+
+  /// Execute the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run events with timestamp <= `until`, then set the clock to `until`.
+  void runUntil(TimePoint until);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pendingEvents() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction (diagnostics / benches).
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    EventId id;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop entries until a live one surfaces; returns false if none remain.
+  bool popLive(Entry& out);
+
+  TimePoint now_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  EventId nextId_ = 1;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace maxmin::sim

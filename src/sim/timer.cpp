@@ -1,0 +1,41 @@
+#include "sim/timer.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace maxmin::sim {
+
+void Timer::arm(Duration delay, std::function<void()> fn) {
+  cancel();
+  id_ = sim_->schedule(delay, [this, fn = std::move(fn)] {
+    id_ = kInvalidEventId;  // clear before user code so it may re-arm
+    fn();
+  });
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEventId) {
+    sim_->cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTimer::start(Duration period, std::function<void()> fn) {
+  start(period, period, std::move(fn));
+}
+
+void PeriodicTimer::start(Duration initialDelay, Duration period,
+                          std::function<void()> fn) {
+  MAXMIN_CHECK(period > Duration::zero());
+  period_ = period;
+  fn_ = std::move(fn);
+  timer_.arm(initialDelay, [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  timer_.arm(period_, [this] { fire(); });
+  fn_();  // may call stop(); the re-arm above is then cancelled
+}
+
+}  // namespace maxmin::sim

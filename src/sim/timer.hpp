@@ -1,0 +1,59 @@
+// One-shot and periodic timers layered over the Simulator.
+//
+// A Timer owns its pending event: destroying or restarting it cancels the
+// previous schedule, which removes the classic dangling-callback hazard of
+// raw schedule()/cancel() pairs.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace maxmin::sim {
+
+/// One-shot cancellable timer.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_{&sim} {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm to fire `delay` from now. A pending schedule is cancelled.
+  void arm(Duration delay, std::function<void()> fn);
+
+  void cancel();
+
+  bool pending() const { return id_ != kInvalidEventId; }
+
+ private:
+  Simulator* sim_;
+  EventId id_ = kInvalidEventId;
+};
+
+/// Fixed-interval periodic timer. The callback runs once per period until
+/// stop() or destruction.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(Simulator& sim) : timer_{sim}, sim_{&sim} {}
+
+  /// Start with the first firing `period` from now.
+  void start(Duration period, std::function<void()> fn);
+
+  /// Start with the first firing after `initialDelay`, then every `period`.
+  void start(Duration initialDelay, Duration period, std::function<void()> fn);
+
+  void stop() { timer_.cancel(); }
+
+  bool running() const { return timer_.pending(); }
+
+ private:
+  void fire();
+
+  Timer timer_;
+  Simulator* sim_;
+  Duration period_ = Duration::zero();
+  std::function<void()> fn_;
+};
+
+}  // namespace maxmin::sim

@@ -1,0 +1,128 @@
+#include "topology/cliques.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace maxmin::topo {
+namespace {
+
+/// Classic Bron-Kerbosch with pivot selection. Vertex sets are plain
+/// sorted vectors; conflict graphs in radio networks have tens of links,
+/// so asymptotics are irrelevant next to clarity.
+class BronKerbosch {
+ public:
+  explicit BronKerbosch(const ConflictGraph& graph) : graph_{graph} {}
+
+  std::vector<std::vector<int>> run() {
+    std::vector<int> all(static_cast<std::size_t>(graph_.numLinks()));
+    for (int i = 0; i < graph_.numLinks(); ++i)
+      all[static_cast<std::size_t>(i)] = i;
+    expand({}, all, {});
+    return std::move(found_);
+  }
+
+ private:
+  std::vector<int> neighborsOf(int v) const {
+    std::vector<int> result;
+    for (int u = 0; u < graph_.numLinks(); ++u) {
+      if (u != v && graph_.conflicts(v, u)) result.push_back(u);
+    }
+    return result;
+  }
+
+  static std::vector<int> intersect(const std::vector<int>& a,
+                                    const std::vector<int>& b) {
+    std::vector<int> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+  }
+
+  void expand(std::vector<int> r, std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      found_.push_back(std::move(r));
+      return;
+    }
+    // Pivot: vertex of P∪X with the most neighbors in P minimizes branching.
+    int pivot = -1;
+    std::size_t best = 0;
+    for (const auto* set : {&p, &x}) {
+      for (int v : *set) {
+        const std::size_t k = intersect(p, neighborsOf(v)).size();
+        if (pivot == -1 || k > best) {
+          pivot = v;
+          best = k;
+        }
+      }
+    }
+    const std::vector<int> pivotNeighbors = neighborsOf(pivot);
+    std::vector<int> candidates;
+    std::set_difference(p.begin(), p.end(), pivotNeighbors.begin(),
+                        pivotNeighbors.end(), std::back_inserter(candidates));
+    for (int v : candidates) {
+      const std::vector<int> nv = neighborsOf(v);
+      std::vector<int> r2 = r;
+      r2.insert(std::lower_bound(r2.begin(), r2.end(), v), v);
+      expand(std::move(r2), intersect(p, nv), intersect(x, nv));
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+    }
+  }
+
+  const ConflictGraph& graph_;
+  std::vector<std::vector<int>> found_;
+};
+
+NodeId smallestNode(const ConflictGraph& graph, const std::vector<int>& clique) {
+  NodeId smallest = kNoNode;
+  for (int idx : clique) {
+    const Link& l = graph.links().at(static_cast<std::size_t>(idx));
+    const NodeId lo = std::min(l.from, l.to);
+    if (smallest == kNoNode || lo < smallest) smallest = lo;
+  }
+  return smallest;
+}
+
+}  // namespace
+
+std::vector<Clique> enumerateMaximalCliques(const ConflictGraph& graph) {
+  std::vector<std::vector<int>> raw = BronKerbosch{graph}.run();
+  if (graph.numLinks() == 0) return {};
+
+  // Deterministic order: by owning (smallest) node, then by member list.
+  std::map<NodeId, std::vector<std::vector<int>>> byOwner;
+  for (auto& c : raw) byOwner[smallestNode(graph, c)].push_back(std::move(c));
+
+  std::vector<Clique> cliques;
+  for (auto& [owner, group] : byOwner) {
+    std::sort(group.begin(), group.end());
+    int seq = 0;
+    for (auto& members : group) {
+      cliques.push_back(Clique{CliqueId{owner, seq++}, std::move(members)});
+    }
+  }
+
+  // Invariant: every link belongs to at least one clique.
+  std::vector<bool> covered(static_cast<std::size_t>(graph.numLinks()), false);
+  for (const Clique& c : cliques)
+    for (int idx : c.linkIndices) covered[static_cast<std::size_t>(idx)] = true;
+  MAXMIN_CHECK(std::all_of(covered.begin(), covered.end(),
+                           [](bool b) { return b; }));
+  return cliques;
+}
+
+std::vector<std::vector<int>> cliquesByLink(const ConflictGraph& graph,
+                                            const std::vector<Clique>& cliques) {
+  std::vector<std::vector<int>> result(
+      static_cast<std::size_t>(graph.numLinks()));
+  for (std::size_t c = 0; c < cliques.size(); ++c) {
+    for (int idx : cliques[c].linkIndices) {
+      result.at(static_cast<std::size_t>(idx)).push_back(static_cast<int>(c));
+    }
+  }
+  return result;
+}
+
+}  // namespace maxmin::topo

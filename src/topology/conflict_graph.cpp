@@ -1,0 +1,50 @@
+#include "topology/conflict_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace maxmin::topo {
+
+ConflictGraph::ConflictGraph(const Topology& topo, std::vector<Link> links)
+    : links_{std::move(links)} {
+  std::sort(links_.begin(), links_.end());
+  MAXMIN_CHECK_MSG(
+      std::adjacent_find(links_.begin(), links_.end()) == links_.end(),
+      "duplicate links in conflict graph");
+  for (const Link& l : links_) {
+    MAXMIN_CHECK_MSG(topo.areNeighbors(l.from, l.to),
+                     "link " << l << " endpoints are not neighbors");
+  }
+  const std::size_t n = links_.size();
+  adjacency_.assign(n, std::vector<bool>(n, false));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (linksConflict(topo, links_[a], links_[b])) {
+        adjacency_[a][b] = adjacency_[b][a] = true;
+      }
+    }
+  }
+}
+
+bool ConflictGraph::linksConflict(const Topology& topo, Link a, Link b) {
+  if (a.from == b.from || a.from == b.to || a.to == b.from || a.to == b.to) {
+    return true;  // shared radio: a node transmits or receives one frame at a time
+  }
+  const NodeId ea[2] = {a.from, a.to};
+  const NodeId eb[2] = {b.from, b.to};
+  for (NodeId x : ea) {
+    for (NodeId y : eb) {
+      if (topo.inCsRange(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+int ConflictGraph::indexOf(Link l) const {
+  const auto it = std::lower_bound(links_.begin(), links_.end(), l);
+  if (it == links_.end() || *it != l) return -1;
+  return static_cast<int>(it - links_.begin());
+}
+
+}  // namespace maxmin::topo

@@ -1,0 +1,44 @@
+// Link conflict ("contention") graph.
+//
+// Two wireless links contend when they cannot carry simultaneous
+// successful exchanges. Under RTS/CTS both endpoints of a link are active
+// during an exchange (RTS/DATA from the sender, CTS/ACK from the
+// receiver), so links (i,j) and (u,v) conflict when they share a node or
+// when any endpoint of one is within carrier-sense/interference range of
+// any endpoint of the other. This matches the medium model in
+// src/phys, so cliques computed here are exactly the airtime constraints
+// the MAC enforces.
+#pragma once
+
+#include <vector>
+
+#include "topology/link.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::topo {
+
+class ConflictGraph {
+ public:
+  /// Build over an explicit set of (distinct) directed links. Each link's
+  /// endpoints must be one-hop neighbors.
+  ConflictGraph(const Topology& topo, std::vector<Link> links);
+
+  static bool linksConflict(const Topology& topo, Link a, Link b);
+
+  const std::vector<Link>& links() const { return links_; }
+  int numLinks() const { return static_cast<int>(links_.size()); }
+
+  bool conflicts(int a, int b) const {
+    return adjacency_.at(static_cast<std::size_t>(a))
+        .at(static_cast<std::size_t>(b));
+  }
+
+  /// Index of a link in links(), or -1 if absent.
+  int indexOf(Link l) const;
+
+ private:
+  std::vector<Link> links_;
+  std::vector<std::vector<bool>> adjacency_;
+};
+
+}  // namespace maxmin::topo

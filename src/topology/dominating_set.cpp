@@ -1,0 +1,54 @@
+#include "topology/dominating_set.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace maxmin::topo {
+
+std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center) {
+  // Targets: two-hop neighbors not already covered by center's own
+  // broadcast (i.e. not one-hop neighbors).
+  const std::vector<NodeId> oneHop = topo.neighbors(center);
+  std::set<NodeId> uncovered;
+  for (NodeId n : topo.twoHopNeighborhood(center)) {
+    if (!std::binary_search(oneHop.begin(), oneHop.end(), n)) {
+      uncovered.insert(n);
+    }
+  }
+
+  std::vector<NodeId> chosen;
+  std::set<NodeId> candidates(oneHop.begin(), oneHop.end());
+  while (!uncovered.empty() && !candidates.empty()) {
+    NodeId best = kNoNode;
+    std::size_t bestGain = 0;
+    for (NodeId c : candidates) {
+      std::size_t gain = 0;
+      for (NodeId n : topo.neighbors(c)) {
+        if (uncovered.contains(n)) ++gain;
+      }
+      if (gain > bestGain || (gain == bestGain && gain > 0 && c < best)) {
+        best = c;
+        bestGain = gain;
+      }
+    }
+    if (bestGain == 0) break;  // remaining targets unreachable via relays
+    chosen.push_back(best);
+    candidates.erase(best);
+    for (NodeId n : topo.neighbors(best)) uncovered.erase(n);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
+                                  const std::vector<NodeId>& relays) {
+  std::set<NodeId> covered;
+  for (NodeId n : topo.neighbors(center)) covered.insert(n);
+  for (NodeId r : relays) {
+    for (NodeId n : topo.neighbors(r)) covered.insert(n);
+  }
+  covered.erase(center);
+  return {covered.begin(), covered.end()};
+}
+
+}  // namespace maxmin::topo

@@ -1,0 +1,28 @@
+// Per-node dominating sets for 2-hop dissemination.
+//
+// After deployment each node i identifies a minimal subset of its one-hop
+// neighbors whose own neighborhoods cover all of i's two-hop neighbors;
+// rebroadcast by just those nodes reaches the full 2-hop scope (paper §6.2,
+// Step 2). Minimum set cover is NP-hard; we use the standard greedy
+// approximation, with ties broken toward the smaller node id for
+// determinism.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace maxmin::topo {
+
+/// One-hop neighbors of `center` chosen as rebroadcasters. Two-hop
+/// neighbors reachable through no one-hop neighbor (impossible in a
+/// consistent topology) would be ignored.
+std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center);
+
+/// Nodes reached by a broadcast from `center` relayed once by `relays`:
+/// the union of center's neighbors and the relays' neighbors, minus
+/// center itself. Used by tests to verify 2-hop coverage.
+std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
+                                  const std::vector<NodeId>& relays);
+
+}  // namespace maxmin::topo

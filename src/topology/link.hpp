@@ -1,0 +1,33 @@
+// Directed wireless link identifier (forwarding direction matters: the
+// paper's link (i, j) is "i forwards to j").
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <ostream>
+
+#include "topology/topology.hpp"
+
+namespace maxmin::topo {
+
+struct Link {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+
+  friend auto operator<=>(const Link&, const Link&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Link& l) {
+  return os << '(' << l.from << ',' << l.to << ')';
+}
+
+struct LinkHash {
+  std::size_t operator()(const Link& l) const {
+    return std::hash<std::int64_t>{}(
+        (static_cast<std::int64_t>(l.from) << 32) ^
+        static_cast<std::int64_t>(static_cast<std::uint32_t>(l.to)));
+  }
+};
+
+}  // namespace maxmin::topo

@@ -1,0 +1,49 @@
+// Static shortest-path routing.
+//
+// The paper assumes any routing protocol that yields acyclic
+// per-destination routes (distance-vector, link-state, or geographic); we
+// provide deterministic BFS shortest paths with smallest-id tie-breaking,
+// which produces the per-destination in-trees the virtual networks of
+// §5.2 are built on.
+#pragma once
+
+#include <vector>
+
+#include "topology/link.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::topo {
+
+/// Next hop toward one destination for every node.
+class RoutingTree {
+ public:
+  /// Shortest paths from every node to `dest` over the neighbor graph.
+  /// Unreachable nodes get kNoNode.
+  static RoutingTree shortestPaths(const Topology& topo, NodeId dest);
+
+  NodeId destination() const { return dest_; }
+
+  /// Next hop from `from` toward the destination; kNoNode if `from` is the
+  /// destination or disconnected from it.
+  NodeId nextHop(NodeId from) const {
+    return nextHop_.at(static_cast<std::size_t>(from));
+  }
+
+  bool reaches(NodeId from) const {
+    return from == dest_ || nextHop(from) != kNoNode;
+  }
+
+  /// Full path from `from` to the destination, inclusive of both ends.
+  /// Empty if unreachable.
+  std::vector<NodeId> pathFrom(NodeId from) const;
+
+  /// Number of hops from `from` to the destination (0 when from == dest);
+  /// -1 if unreachable.
+  int hopCount(NodeId from) const;
+
+ private:
+  NodeId dest_ = kNoNode;
+  std::vector<NodeId> nextHop_;
+};
+
+}  // namespace maxmin::topo

@@ -1,0 +1,71 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maxmin::topo {
+
+double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology Topology::fromPositions(std::vector<Point> positions,
+                                 RadioRanges ranges) {
+  MAXMIN_CHECK(ranges.txRange > 0.0);
+  MAXMIN_CHECK_MSG(ranges.csRange >= ranges.txRange,
+                   "carrier-sense range must cover the transmission range");
+  Topology t;
+  t.positions_ = std::move(positions);
+  t.ranges_ = ranges;
+  const int n = t.numNodes();
+  t.neighbors_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (distance(t.positions_[static_cast<std::size_t>(a)],
+                   t.positions_[static_cast<std::size_t>(b)]) <=
+          ranges.txRange) {
+        t.neighbors_[static_cast<std::size_t>(a)].push_back(b);
+        t.neighbors_[static_cast<std::size_t>(b)].push_back(a);
+      }
+    }
+  }
+  return t;
+}
+
+double Topology::distanceBetween(NodeId a, NodeId b) const {
+  return distance(positions_.at(checkId(a)), positions_.at(checkId(b)));
+}
+
+bool Topology::areNeighbors(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return distanceBetween(a, b) <= ranges_.txRange;
+}
+
+bool Topology::inCsRange(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return distanceBetween(a, b) <= ranges_.csRange;
+}
+
+std::vector<NodeId> Topology::twoHopNeighborhood(NodeId id) const {
+  std::vector<bool> seen(static_cast<std::size_t>(numNodes()), false);
+  seen[checkId(id)] = true;
+  std::vector<NodeId> result;
+  for (NodeId h1 : neighbors(id)) {
+    if (!seen[static_cast<std::size_t>(h1)]) {
+      seen[static_cast<std::size_t>(h1)] = true;
+      result.push_back(h1);
+    }
+    for (NodeId h2 : neighbors(h1)) {
+      if (!seen[static_cast<std::size_t>(h2)]) {
+        seen[static_cast<std::size_t>(h2)] = true;
+        result.push_back(h2);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace maxmin::topo

@@ -1,0 +1,75 @@
+// Static radio topology: node positions plus the derived neighbor
+// (decodable) and carrier-sense (sensable/interfering) relations.
+//
+// The paper assumes a static multihop network (e.g. a mesh with external
+// power); all graphs here are computed once at construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace maxmin::topo {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(Point a, Point b);
+
+/// Radio model: frames decode within `txRange`; energy is sensed (and
+/// corrupts concurrent receptions) within `csRange`. Defaults follow the
+/// paper's setup (250 m transmission range) with the conventional 2.2x
+/// carrier-sense/interference radius used by ns-2-era 802.11 studies.
+struct RadioRanges {
+  double txRange = 250.0;
+  double csRange = 550.0;
+};
+
+class Topology {
+ public:
+  /// Build from explicit node positions. Node ids are indices into the
+  /// position vector.
+  static Topology fromPositions(std::vector<Point> positions,
+                                RadioRanges ranges = {});
+
+  int numNodes() const { return static_cast<int>(positions_.size()); }
+  Point position(NodeId id) const { return positions_.at(checkId(id)); }
+  const RadioRanges& ranges() const { return ranges_; }
+
+  double distanceBetween(NodeId a, NodeId b) const;
+
+  /// True when a and b can exchange decodable frames (within txRange).
+  bool areNeighbors(NodeId a, NodeId b) const;
+
+  /// True when a transmission by `a` is sensed at `b` (within csRange).
+  /// Symmetric; a node does not sense itself.
+  bool inCsRange(NodeId a, NodeId b) const;
+
+  /// One-hop neighbors (decodable), ascending id order.
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return neighbors_.at(checkId(id));
+  }
+
+  /// Nodes exactly one or two hops away in the neighbor graph, ascending,
+  /// excluding `id` itself. This is the scope over which the paper
+  /// disseminates link state.
+  std::vector<NodeId> twoHopNeighborhood(NodeId id) const;
+
+ private:
+  std::size_t checkId(NodeId id) const {
+    MAXMIN_CHECK_MSG(id >= 0 && id < numNodes(), "bad node id " << id);
+    return static_cast<std::size_t>(id);
+  }
+
+  std::vector<Point> positions_;
+  RadioRanges ranges_;
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace maxmin::topo

@@ -1,0 +1,46 @@
+// Always-on invariant checks.
+//
+// Simulation bugs manifest as silently wrong results, so internal invariants
+// are checked in all build types. Violations throw (rather than abort) so the
+// test suite can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace maxmin {
+
+/// Thrown when an internal invariant is violated. Indicates a bug in this
+/// library, not bad user input (bad input throws std::invalid_argument).
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void failCheck(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace maxmin
+
+#define MAXMIN_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::maxmin::detail::failCheck(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define MAXMIN_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream maxmin_check_os;                                 \
+      maxmin_check_os << msg;                                             \
+      ::maxmin::detail::failCheck(#expr, __FILE__, __LINE__,              \
+                                  maxmin_check_os.str());                 \
+    }                                                                     \
+  } while (false)

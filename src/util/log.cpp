@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace maxmin {
+namespace {
+
+LogLevel& levelRef() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+std::ostream*& sinkRef() {
+  static std::ostream* sink = nullptr;
+  return sink;
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "?    ";
+  }
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return levelRef(); }
+void Logger::setLevel(LogLevel level) { levelRef() = level; }
+void Logger::setSink(std::ostream* sink) { sinkRef() = sink; }
+
+void Logger::write(LogLevel at, const std::string& component, TimePoint when,
+                   const std::string& message) {
+  std::ostream& os = sinkRef() != nullptr ? *sinkRef() : std::cerr;
+  os << '[' << levelName(at) << "] [" << when.asMicros() << "us] ["
+     << component << "] " << message << '\n';
+}
+
+}  // namespace maxmin

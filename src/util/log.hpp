@@ -1,0 +1,40 @@
+// Minimal leveled logger. Off by default so simulations stay quiet; tests
+// and debugging sessions can raise the level per component.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace maxmin {
+
+enum class LogLevel { kOff = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+class Logger {
+ public:
+  /// Global level shared by all components.
+  static LogLevel level();
+  static void setLevel(LogLevel level);
+
+  /// Redirect output (default: std::cerr). Pass nullptr to restore default.
+  static void setSink(std::ostream* sink);
+
+  static bool enabled(LogLevel at) { return at <= level(); }
+
+  static void write(LogLevel at, const std::string& component, TimePoint when,
+                    const std::string& message);
+};
+
+}  // namespace maxmin
+
+#define MAXMIN_LOG(level_, component_, when_, expr_)                       \
+  do {                                                                     \
+    if (::maxmin::Logger::enabled(level_)) {                               \
+      std::ostringstream maxmin_log_os;                                    \
+      maxmin_log_os << expr_;                                              \
+      ::maxmin::Logger::write(level_, component_, when_,                   \
+                              maxmin_log_os.str());                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic component draws from an Rng seeded from the scenario
+// configuration, so a run is fully reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/check.hpp"
+
+namespace maxmin {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    MAXMIN_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi) {
+    MAXMIN_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    MAXMIN_CHECK(mean > 0.0);
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Derive an independent child generator (e.g. one per node) such that
+  /// adding components does not perturb existing streams.
+  Rng fork() { return Rng{engine_() ^ 0x9e3779b97f4a7c15ULL}; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace maxmin

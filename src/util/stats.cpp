@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace maxmin {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double WindowedCounter::closeWindow(TimePoint windowStart, TimePoint now) {
+  MAXMIN_CHECK(now > windowStart);
+  const double seconds = (now - windowStart).asSeconds();
+  const double rate = static_cast<double>(count_) / seconds;
+  count_ = 0;
+  return rate;
+}
+
+void BusyTimeAccumulator::set(bool on, TimePoint now) {
+  if (on == on_) return;
+  if (on_) accumulated_ += now - onSince_;
+  on_ = on;
+  onSince_ = now;
+}
+
+double BusyTimeAccumulator::fraction(TimePoint windowStart, TimePoint now) const {
+  if (now <= windowStart) return 0.0;
+  Duration busy = accumulated_;
+  if (on_) busy += now - std::max(onSince_, windowStart);
+  const double f = busy.ratio(now - windowStart);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+void BusyTimeAccumulator::beginWindow(TimePoint now) {
+  accumulated_ = Duration::zero();
+  windowStart_ = now;
+  if (on_) onSince_ = now;
+}
+
+double jainIndex(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sumSq += x * x;
+  }
+  if (sumSq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sumSq);
+}
+
+double maxminIndex(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  if (*hi == 0.0) return 1.0;
+  return *lo / *hi;
+}
+
+}  // namespace maxmin

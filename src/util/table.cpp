@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace maxmin {
+
+Table::Table(std::vector<std::string> header) : header_{std::move(header)} {
+  MAXMIN_CHECK(!header_.empty());
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  MAXMIN_CHECK_MSG(cells.size() == header_.size(),
+                   "row arity " << cells.size() << " != header arity "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 < row.size() ? " | " : " |\n");
+    }
+  };
+
+  emitRow(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emitRow(row);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      std::replace(cell.begin(), cell.end(), ',', ';');
+      os << cell << (c + 1 < row.size() ? "," : "\n");
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace maxmin

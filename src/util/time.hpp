@@ -1,0 +1,93 @@
+// Strong time types for the simulation kernel.
+//
+// All simulation time is integral microseconds. Integral ticks make event
+// ordering exact and runs bit-reproducible across platforms; a microsecond
+// resolves every IEEE 802.11 interval we model (slot = 20 us, SIFS = 10 us).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace maxmin {
+
+/// A span of simulated time. Internally a signed 64-bit count of microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors. Prefer these over the raw-tick constructor.
+  static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t asMicros() const { return us_; }
+  constexpr double asSeconds() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr friend auto operator<=>(Duration, Duration) = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{us_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{us_ / k}; }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  constexpr Duration operator-() const { return Duration{-us_}; }
+
+  /// Ratio of two durations as a real number (e.g. airtime fractions).
+  constexpr double ratio(Duration denom) const {
+    return static_cast<double>(us_) / static_cast<double>(denom.us_);
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulation clock (microseconds since start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint{}; }
+  static constexpr TimePoint fromMicros(std::int64_t us) { return TimePoint{us}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t asMicros() const { return us_; }
+  constexpr double asSeconds() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr friend auto operator<=>(TimePoint, TimePoint) = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{us_ + d.asMicros()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{us_ - d.asMicros()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::micros(us_ - o.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { us_ += d.asMicros(); return *this; }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.asMicros() << "us";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t+" << t.asMicros() << "us";
+}
+
+}  // namespace maxmin

@@ -1,0 +1,265 @@
+// Tests for the in-band control plane: MAC broadcast frames, the
+// dominating-set link-state dissemination of §6.2 Step 2, and the
+// distributed per-node clique discovery. Several tests *measure* the
+// control plane's latency and delivery under saturated data load — the
+// quantitative justification for running the default controller with
+// out-of-band signalling (DESIGN.md §2, substitution 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/configs.hpp"
+#include "gmp/dissemination.hpp"
+#include "gmp/neighborhood.hpp"
+#include "net/network.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace maxmin::gmp {
+namespace {
+
+net::Network makeIdleNetwork(const scenarios::Scenario& sc,
+                             double trickleRate = 1.0) {
+  // Flows must exist for the network to build; a trickle keeps the
+  // channel essentially idle.
+  auto flows = sc.flows;
+  for (auto& f : flows) f.desiredRate = PacketRate::perSecond(trickleRate);
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 31;
+  return net::Network{sc.topology, cfg, flows};
+}
+
+TEST(Broadcast, ReachesAllOneHopNeighbors) {
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  LinkStateDissemination diss{net};
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.25}});
+  net.run(Duration::millis(50));
+  const auto reached = diss.reachedBy(1, 0);
+  // Node 1's neighbors are 0 and 2; relays extend to 3 (two hops).
+  EXPECT_TRUE(std::binary_search(reached.begin(), reached.end(), 0));
+  EXPECT_TRUE(std::binary_search(reached.begin(), reached.end(), 2));
+  EXPECT_GE(net.macOf(1).counters().broadcastsSent, 1u);
+}
+
+TEST(Dissemination, RelaysCoverTwoHopNeighborhood) {
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  LinkStateDissemination diss{net};
+  diss.announce(0, {{topo::Link{0, 1}, 80.0, 0.5}});
+  net.run(Duration::millis(100));
+  const auto reached = diss.reachedBy(0, 0);
+  // Two-hop scope of node 0 on the chain: {0, 1, 2}.
+  for (topo::NodeId n : {0, 1, 2}) {
+    EXPECT_TRUE(std::binary_search(reached.begin(), reached.end(), n))
+        << "node " << n << " missed the announcement";
+  }
+  // The receiving nodes hold the advertised state.
+  const auto& store = diss.knownStates(2);
+  ASSERT_TRUE(store.contains(topo::Link{0, 1}));
+  EXPECT_DOUBLE_EQ(store.at(topo::Link{0, 1}).normRate, 80.0);
+  EXPECT_DOUBLE_EQ(store.at(topo::Link{0, 1}).occupancy, 0.5);
+}
+
+TEST(Dissemination, DuplicateSuppressionStopsRebroadcastStorms) {
+  // A dense clique where everyone is in everyone's dominating-set
+  // candidacy: each node must relay at most once per announcement.
+  std::vector<topo::Point> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({100.0 * i, 0.0});
+  scenarios::Scenario sc;
+  sc.topology = topo::Topology::fromPositions(pts);
+  net::FlowSpec f;
+  f.id = 0;
+  f.src = 0;
+  f.dst = 5;
+  f.desiredRate = PacketRate::perSecond(1.0);
+  sc.flows = {f};
+  auto net = makeIdleNetwork(sc);
+  LinkStateDissemination diss{net};
+  diss.announce(0, {{topo::Link{0, 1}, 10.0, 0.1}});
+  net.run(Duration::seconds(1.0));
+  // Total transmissions bounded by nodes (1 origin + <= 1 relay each).
+  EXPECT_LE(diss.messagesSent() + diss.rebroadcasts(), 6);
+}
+
+TEST(Dissemination, SequenceNumbersDistinguishRounds) {
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  LinkStateDissemination diss{net};
+  diss.announce(1, {{topo::Link{1, 2}, 10.0, 0.1}});
+  net.run(Duration::millis(50));
+  diss.announce(1, {{topo::Link{1, 2}, 20.0, 0.2}});
+  net.run(Duration::millis(50));
+  EXPECT_FALSE(diss.reachedBy(1, 0).empty());
+  EXPECT_FALSE(diss.reachedBy(1, 1).empty());
+  // Receivers keep the latest value.
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 20.0);
+}
+
+TEST(Dissemination, CompletesQuicklyUnderSaturatedDataLoad) {
+  // The quantitative check behind substitution 3: on a fully saturated
+  // Fig. 3 network, a link-state announcement plus its relays reach the
+  // 2-hop scope within a small fraction of the 4 s period.
+  const auto sc = scenarios::fig3();
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 13;
+  net::Network net{sc.topology, cfg, sc.flows};  // 800 pkt/s demands
+  LinkStateDissemination diss{net};
+  net.run(Duration::seconds(5.0));  // reach saturation
+
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.9}});
+  const TimePoint sent = net.now();
+  TimePoint done = TimePoint::max();
+  for (int step = 0; step < 400; ++step) {
+    net.run(Duration::millis(5));
+    const auto reached = diss.reachedBy(1, 0);
+    const auto twoHop = net.topology().twoHopNeighborhood(1);
+    if (std::includes(reached.begin(), reached.end(), twoHop.begin(),
+                      twoHop.end())) {
+      done = net.now();
+      break;
+    }
+  }
+  ASSERT_NE(done, TimePoint::max()) << "dissemination never completed";
+  const Duration latency = done - sent;
+  EXPECT_LT(latency, Duration::millis(500))
+      << "latency " << latency << " is not negligible vs the 4 s period";
+}
+
+TEST(Dissemination, BroadcastsCoexistWithDataTraffic) {
+  // Control traffic must not stall data: run a saturated network with a
+  // periodic announcer and verify both make progress.
+  const auto sc = scenarios::fig3();
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 17;
+  net::Network net{sc.topology, cfg, sc.flows};
+  LinkStateDissemination diss{net};
+  for (int round = 0; round < 10; ++round) {
+    diss.announce(2, {{topo::Link{2, 3}, 42.0, 0.5}});
+    net.run(Duration::seconds(1.0));
+  }
+  EXPECT_GE(diss.messagesSent(), 10);
+  EXPECT_GT(net.delivered(0) + net.delivered(1) + net.delivered(2), 500);
+  EXPECT_FALSE(diss.reachedBy(2, 9).empty());
+}
+
+// --- per-node clique discovery ------------------------------------------------
+
+std::vector<topo::Link> activeLinksOf(const scenarios::Scenario& sc) {
+  net::NetworkConfig cfg = baselines::configGmp({});
+  net::Network net{sc.topology, cfg, sc.flows};
+  return net.activeLinks();
+}
+
+TEST(Neighborhood, InteriorChainNodesRecoverTheGlobalClique) {
+  // On the Fig. 3 chain the single maximal clique spans all three links.
+  // Interior nodes (1, 2) see the whole chain within two hops and
+  // recover it exactly. Edge nodes cannot: under cs = 2.2 x tx the
+  // contention domain extends to ~3 radio hops, one hop beyond the
+  // paper's 2-hop discovery horizon — a real limitation of the paper's
+  // assumption that the next test pins down.
+  const auto sc = scenarios::fig3();
+  const auto links = activeLinksOf(sc);
+  for (topo::NodeId n : {1, 2}) {
+    const auto view = buildLocalView(sc.topology, n, links);
+    EXPECT_TRUE(localViewIsExact(sc.topology, links, view)) << "node " << n;
+    ASSERT_EQ(view.cliques.size(), 1u);
+    EXPECT_EQ(view.cliqueLinks(0).size(), 3u);
+  }
+}
+
+TEST(Neighborhood, ContentionHorizonExceedsTwoHopsAtChainEdges) {
+  // Node 0's two-hop view on the Fig. 3 chain is {0,1,2}; link (2,3)
+  // contends with (0,1) (endpoints 1 and 2 are 200 m apart) but its far
+  // endpoint is three hops away, so the local clique under-approximates
+  // the global one. The condition checks still work — they only need
+  // the clique's *occupancy and rates*, which the (i,j)-initiated
+  // dissemination provides — but pre-computed clique membership from
+  // 2-hop topology alone is incomplete at the edge.
+  const auto sc = scenarios::fig3();
+  const auto links = activeLinksOf(sc);
+  const auto view = buildLocalView(sc.topology, 0, links);
+  EXPECT_FALSE(localViewIsExact(sc.topology, links, view));
+  ASSERT_EQ(view.cliques.size(), 1u);
+  EXPECT_EQ(view.cliqueLinks(0),
+            (std::vector<topo::Link>{{0, 1}, {1, 2}}));  // (2,3) unseen
+}
+
+TEST(Neighborhood, CrossComponentContentionIsInvisibleToTwoHopDiscovery) {
+  // A documented limitation of the paper's §6.2 assumption: Fig. 2's two
+  // chains contend (350-545 m apart, inside the 550 m interference
+  // range) but exchange no decodable frames, so 2-hop radio discovery
+  // can never learn the cross-chain clique {(1,2),(3,4),(4,5)}. Node 1's
+  // local view only contains the intra-chain clique. (The evaluation
+  // harness therefore provides contention structure globally — what a
+  // real deployment would obtain from a site survey or a wider-scope
+  // discovery protocol.)
+  const auto sc = scenarios::fig2();
+  const auto links = activeLinksOf(sc);
+  const auto view = buildLocalView(sc.topology, 1, links);
+  ASSERT_EQ(view.cliques.size(), 1u);
+  EXPECT_EQ(view.cliqueLinks(0), (std::vector<topo::Link>{{0, 1}, {1, 2}}));
+  EXPECT_FALSE(localViewIsExact(sc.topology, links, view));
+}
+
+TEST(Neighborhood, NonAdjacentCliquesAreExcluded) {
+  const auto sc = scenarios::fig2();
+  const auto links = activeLinksOf(sc);
+  // Node 0 belongs only to clique {(0,1),(1,2)}.
+  const auto view = buildLocalView(sc.topology, 0, links);
+  ASSERT_EQ(view.cliques.size(), 1u);
+  EXPECT_EQ(view.cliqueLinks(0),
+            (std::vector<topo::Link>{{0, 1}, {1, 2}}));
+}
+
+TEST(Neighborhood, CliqueIdsMatchPaperScheme) {
+  const auto sc = scenarios::fig3();
+  const auto links = activeLinksOf(sc);
+  const auto view = buildLocalView(sc.topology, 1, links);
+  for (const auto& c : view.cliques) {
+    topo::NodeId smallest = std::numeric_limits<topo::NodeId>::max();
+    for (int i = 0; i < static_cast<int>(view.cliques.size()); ++i) {
+      for (const auto& l : view.cliqueLinks(i)) {
+        smallest = std::min({smallest, l.from, l.to});
+      }
+    }
+    EXPECT_EQ(c.id.owner, smallest);
+  }
+}
+
+class NeighborhoodPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeighborhoodPropertyTest, ViewsAreSoundAndMostlyExactOnDenseMeshes) {
+  // Soundness always holds: everything a local view reports is a true
+  // maximal clique of the links it can see. Exactness (recovering every
+  // global clique touching the node) holds for most nodes of a dense
+  // mesh and fails only where contenders lack a 2-hop radio path; we
+  // quantify that fraction rather than assume it away.
+  const auto sc = scenarios::randomMesh(
+      static_cast<std::uint64_t>(GetParam()) * 7 + 2, 14, 700.0, 5);
+  const auto links = activeLinksOf(sc);
+  int exact = 0;
+  for (topo::NodeId n = 0; n < sc.topology.numNodes(); ++n) {
+    const auto view = buildLocalView(sc.topology, n, links);
+    // Soundness: local cliques are cliques of the global conflict graph.
+    const topo::ConflictGraph global{sc.topology, links};
+    for (int c = 0; c < static_cast<int>(view.cliques.size()); ++c) {
+      const auto members = view.cliqueLinks(c);
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          EXPECT_TRUE(topo::ConflictGraph::linksConflict(
+              sc.topology, members[a], members[b]));
+        }
+      }
+    }
+    if (localViewIsExact(sc.topology, links, view)) ++exact;
+  }
+  RecordProperty("exactViews", exact);
+  RecordProperty("nodes", sc.topology.numNodes());
+  EXPECT_GE(exact, 1) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NeighborhoodPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace maxmin::gmp

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/maxmin_solver.hpp"
+#include "fluid/fluid_gmp.hpp"
+#include "fluid/fluid_network.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace maxmin::fluid {
+namespace {
+
+constexpr double kCapacity = 580.0;
+
+net::FlowSpec flow(net::FlowId id, topo::NodeId src, topo::NodeId dst,
+                   double weight = 1.0, double desired = 800.0) {
+  net::FlowSpec f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.weight = weight;
+  f.desiredRate = PacketRate::perSecond(desired);
+  return f;
+}
+
+topo::Topology chainTopo(int n) {
+  std::vector<topo::Point> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({200.0 * i, 0.0});
+  return topo::Topology::fromPositions(std::move(pts));
+}
+
+TEST(FluidNetwork, UnconstrainedFlowRunsAtOfferedRate) {
+  FluidNetwork net{chainTopo(2), {flow(0, 0, 1, 1.0, 100.0)}, kCapacity};
+  const auto state = net.evaluate();
+  EXPECT_NEAR(state.rates.at(0), 100.0, 1e-9);
+  EXPECT_TRUE(state.saturated.empty());
+  EXPECT_NEAR(state.occupancy.at({0, 1}), 100.0 / kCapacity, 1e-9);
+}
+
+TEST(FluidNetwork, RateLimitApplies) {
+  FluidNetwork net{chainTopo(2), {flow(0, 0, 1)}, kCapacity};
+  net.setRateLimit(0, 50.0);
+  EXPECT_NEAR(net.evaluate().rates.at(0), 50.0, 1e-9);
+  net.setRateLimit(0, std::nullopt);
+  EXPECT_NEAR(net.evaluate().rates.at(0), kCapacity, 1e-6);
+}
+
+TEST(FluidNetwork, SingleCliqueSharesProportionally) {
+  // Two single-hop flows in one clique offering 800 each: the scaler
+  // splits capacity in proportion to demand (equal here).
+  FluidNetwork net{chainTopo(3), {flow(0, 0, 1), flow(1, 1, 2)}, kCapacity};
+  const auto state = net.evaluate();
+  EXPECT_NEAR(state.rates.at(0), kCapacity / 2, 1e-6);
+  EXPECT_NEAR(state.rates.at(1), kCapacity / 2, 1e-6);
+}
+
+TEST(FluidNetwork, MultihopFlowConsumesPerHopAirtime) {
+  // One 3-hop flow in a single clique: rate = capacity / 3.
+  FluidNetwork net{chainTopo(4), {flow(0, 0, 3)}, kCapacity};
+  EXPECT_NEAR(net.evaluate().rates.at(0), kCapacity / 3, 1e-6);
+}
+
+TEST(FluidNetwork, BackpressureChainMarksSaturation) {
+  FluidNetwork net{chainTopo(4), {flow(0, 0, 3)}, kCapacity};
+  const auto state = net.evaluate();
+  // The flow is constrained; its source is saturated.
+  EXPECT_TRUE(state.saturated.contains({0, 3}));
+  EXPECT_TRUE(state.saturated.at({0, 3}));
+}
+
+TEST(FluidNetwork, CliqueLoadsAreFeasibleAfterScaling) {
+  const auto sc = scenarios::fig4();
+  FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  const auto state = net.evaluate();
+  // Check feasibility through the reference model.
+  const auto model =
+      analysis::buildCliqueModel(sc.topology, sc.flows, kCapacity);
+  EXPECT_TRUE(analysis::isFeasible(model, state.rates, 1e-3));
+}
+
+// --- FluidGmpHarness ---------------------------------------------------------
+
+TEST(FluidGmp, ConvergesToEqualityOnFig3) {
+  const auto sc = scenarios::fig3();
+  FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  FluidGmpHarness harness{net, gmp::GmpParams{}};
+  const auto rates = harness.run(120);
+  // Maxmin on the chain: all three flows equal at capacity/6.
+  const double expected = kCapacity / 6.0;
+  for (const auto& [id, r] : rates) {
+    EXPECT_NEAR(r, expected, expected * 0.25) << "flow " << id;
+  }
+  // Violations must have died out.
+  const auto& hist = harness.violationHistory();
+  const int tail = std::accumulate(hist.end() - 10, hist.end(), 0);
+  EXPECT_LE(tail, 4);
+}
+
+TEST(FluidGmp, Fig2EqualWeightsShape) {
+  const auto sc = scenarios::fig2();
+  FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  FluidGmpHarness harness{net, gmp::GmpParams{}};
+  const auto rates = harness.run(150);
+  // Paper Table 1 shape: f2 ~ f3 ~ f4, f1 clearly larger.
+  EXPECT_GT(rates.at(0), 1.5 * rates.at(1));
+  EXPECT_NEAR(rates.at(2), rates.at(1), rates.at(1) * 0.3);
+  EXPECT_NEAR(rates.at(3), rates.at(1), rates.at(1) * 0.3);
+}
+
+TEST(FluidGmp, Fig2WeightedShape) {
+  const auto sc = scenarios::fig2({1, 2, 1, 3});
+  FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  FluidGmpHarness harness{net, gmp::GmpParams{}};
+  const auto rates = harness.run(150);
+  // Normalized rates of the clique-1 flows approximately equal.
+  const double mu2 = rates.at(1) / 2.0;
+  const double mu3 = rates.at(2) / 1.0;
+  const double mu4 = rates.at(3) / 3.0;
+  EXPECT_NEAR(mu3, mu2, mu2 * 0.35);
+  EXPECT_NEAR(mu4, mu2, mu2 * 0.35);
+  // f1 opportunistically exceeds its weight share.
+  EXPECT_GT(rates.at(0), rates.at(1));
+}
+
+/// Property: on random meshes, the engine driven by the fluid substrate
+/// converges to rates close to the centralized weighted maxmin solution.
+class FluidGmpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidGmpPropertyTest, ConvergesNearCentralizedMaxmin) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto sc = scenarios::randomMesh(seed, 10, 900.0, 4);
+  FluidNetwork net{sc.topology, sc.flows, kCapacity};
+  FluidGmpHarness harness{net, gmp::GmpParams{}};
+  const auto rates = harness.run(250);
+
+  const auto model =
+      analysis::buildCliqueModel(sc.topology, sc.flows, kCapacity);
+  const auto reference = analysis::solveWeightedMaxmin(model);
+
+  // Feasibility of the converged point (fluid scaling enforces it).
+  EXPECT_TRUE(analysis::isFeasible(model, rates, 1.0));
+
+  // The smallest normalized rate is the maxmin-critical quantity; GMP
+  // must bring it close to the reference's smallest normalized rate.
+  auto minMu = [&](const std::map<net::FlowId, double>& rs) {
+    double v = std::numeric_limits<double>::infinity();
+    for (const net::FlowSpec& f : sc.flows) {
+      v = std::min(v, rs.at(f.id) / f.weight);
+    }
+    return v;
+  };
+  EXPECT_GT(minMu(rates), 0.55 * minMu(reference))
+      << "seed " << seed << ": GMP starved a flow the reference sustains";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidGmpPropertyTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace maxmin::fluid

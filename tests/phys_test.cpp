@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "phys/frame_trace.hpp"
+
+#include "phys/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace maxmin::phys {
+namespace {
+
+/// Records everything the medium tells it.
+class RecordingRadio final : public RadioListener {
+ public:
+  void onChannelBusy() override { ++busyTransitions; }
+  void onChannelIdle() override { ++idleTransitions; }
+  void onFrameReceived(const Frame& f) override { received.push_back(f); }
+  void onFrameCorrupted(const Frame& f) override { corrupted.push_back(f); }
+
+  int busyTransitions = 0;
+  int idleTransitions = 0;
+  std::vector<Frame> received;
+  std::vector<Frame> corrupted;
+};
+
+Frame makeFrame(topo::NodeId from, topo::NodeId to, std::int64_t micros) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.transmitter = from;
+  f.addressee = to;
+  f.duration = Duration::micros(micros);
+  return f;
+}
+
+struct Fixture {
+  explicit Fixture(std::vector<topo::Point> pts,
+                   topo::RadioRanges ranges = {})
+      : topo{topo::Topology::fromPositions(std::move(pts), ranges)},
+        medium{sim, topo},
+        radios(static_cast<std::size_t>(topo.numNodes())) {
+    for (topo::NodeId n = 0; n < topo.numNodes(); ++n) {
+      medium.attachRadio(n, &radios[static_cast<std::size_t>(n)]);
+    }
+  }
+  sim::Simulator sim;
+  topo::Topology topo;
+  Medium medium;
+  std::vector<RecordingRadio> radios;
+};
+
+TEST(Medium, DeliversFrameToAllNodesInTxRange) {
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}, {800, 0}}};
+  f.medium.startTransmission(makeFrame(1, 2, 100));
+  f.sim.run();
+  // Nodes 0 and 2 are within 250 m of node 1; node 3 is not.
+  EXPECT_EQ(f.radios[0].received.size(), 1u);
+  EXPECT_EQ(f.radios[2].received.size(), 1u);
+  EXPECT_TRUE(f.radios[3].received.empty());
+  EXPECT_TRUE(f.radios[1].received.empty());  // no self-reception
+  EXPECT_EQ(f.medium.framesDelivered(), 2u);
+}
+
+TEST(Medium, BusyIdleTransitionsWithinCsRange) {
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}, {800, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.sim.run();
+  // 200 and 400 m sense (<= 550); 800 m does not.
+  EXPECT_EQ(f.radios[1].busyTransitions, 1);
+  EXPECT_EQ(f.radios[1].idleTransitions, 1);
+  EXPECT_EQ(f.radios[2].busyTransitions, 1);
+  EXPECT_EQ(f.radios[3].busyTransitions, 0);
+  EXPECT_EQ(f.radios[0].busyTransitions, 0);  // own tx not sensed
+}
+
+TEST(Medium, OverlappingTransmissionsCorruptReceptions) {
+  // 0 --- 1 --- 2, spacing 400 m: 0 and 2 cannot sense each other? 800 m
+  // apart -> beyond cs range; both reach node 1? 400 <= 250 is false...
+  // Use spacing 200: 0 and 2 are 400 apart (sense each other) but we start
+  // both at t=0 so neither deferred.
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.medium.startTransmission(makeFrame(2, 1, 100));
+  f.sim.run();
+  EXPECT_TRUE(f.radios[1].received.empty());
+  EXPECT_EQ(f.radios[1].corrupted.size(), 2u);
+}
+
+TEST(Medium, HiddenTerminalCollisionAtReceiverOnly) {
+  // 0 at x=0, 1 at x=200, 2 at x=760: 0-2 distance 760 > 550 (hidden),
+  // 2-1 distance 560 > 550... adjust: 2 at x=740 -> 2-1 = 540 <= 550
+  // (interferes at 1) and 0-2 = 740 > 550 (mutually hidden).
+  Fixture f{{{0, 0}, {200, 0}, {740, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.sim.runUntil(TimePoint::origin() + Duration::micros(50));
+  // Node 2 cannot sense node 0; it transmits mid-reception.
+  f.medium.startTransmission(makeFrame(2, 1, 100));
+  f.sim.run();
+  EXPECT_TRUE(f.radios[1].received.empty());
+  EXPECT_EQ(f.radios[1].corrupted.size(), 1u);  // only frame from 0 decodable
+}
+
+TEST(Medium, LaterFrameCorruptedByOngoingEnergy) {
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 200));
+  f.sim.runUntil(TimePoint::origin() + Duration::micros(50));
+  f.medium.startTransmission(makeFrame(2, 1, 100));
+  f.sim.run();
+  // Both frames overlap at node 1: both corrupted.
+  EXPECT_TRUE(f.radios[1].received.empty());
+  EXPECT_EQ(f.radios[1].corrupted.size(), 2u);
+}
+
+TEST(Medium, ReceiverTransmittingLosesIncomingFrame) {
+  Fixture f{{{0, 0}, {200, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.medium.startTransmission(makeFrame(1, 0, 100));
+  f.sim.run();
+  // Each node was transmitting while the other's frame arrived.
+  EXPECT_TRUE(f.radios[0].received.empty());
+  EXPECT_TRUE(f.radios[1].received.empty());
+  EXPECT_EQ(f.radios[0].corrupted.size(), 1u);
+  EXPECT_EQ(f.radios[1].corrupted.size(), 1u);
+}
+
+TEST(Medium, SequentialTransmissionsBothDelivered) {
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.sim.runUntil(TimePoint::origin() + Duration::micros(100));
+  f.medium.startTransmission(makeFrame(2, 1, 100));
+  f.sim.run();
+  EXPECT_EQ(f.radios[1].received.size(), 2u);
+  EXPECT_TRUE(f.radios[1].corrupted.empty());
+}
+
+TEST(Medium, SenseBusyQueries) {
+  Fixture f{{{0, 0}, {200, 0}, {800, 0}}};
+  EXPECT_FALSE(f.medium.senseBusy(1));
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  EXPECT_TRUE(f.medium.senseBusy(1));
+  EXPECT_FALSE(f.medium.senseBusy(2));  // out of cs range
+  EXPECT_FALSE(f.medium.senseBusy(0));  // own tx
+  EXPECT_TRUE(f.medium.isTransmitting(0));
+  f.sim.run();
+  EXPECT_FALSE(f.medium.senseBusy(1));
+  EXPECT_FALSE(f.medium.isTransmitting(0));
+}
+
+TEST(Medium, DoubleTransmitBySameNodeRejected) {
+  Fixture f{{{0, 0}, {200, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  EXPECT_THROW(f.medium.startTransmission(makeFrame(0, 1, 100)),
+               InvariantViolation);
+}
+
+TEST(Medium, SlotReuseAfterCompletion) {
+  Fixture f{{{0, 0}, {200, 0}}};
+  for (int i = 0; i < 5; ++i) {
+    f.medium.startTransmission(makeFrame(0, 1, 50));
+    f.sim.run();
+  }
+  EXPECT_EQ(f.radios[1].received.size(), 5u);
+}
+
+TEST(Medium, SimultaneousStartBothCorrupted) {
+  // Same-instant starts at mutually-sensing nodes still collide at the
+  // common receiver.
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}, {600, 0}}};
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.medium.startTransmission(makeFrame(3, 2, 100));
+  f.sim.run();
+  // Node 1 is within cs range of 3 (400 m)? |200-600|=400 <= 550 yes.
+  EXPECT_TRUE(f.radios[1].received.empty());
+  EXPECT_TRUE(f.radios[2].received.empty());
+  EXPECT_EQ(f.radios[1].corrupted.size(), 1u);
+  EXPECT_EQ(f.radios[2].corrupted.size(), 1u);
+}
+
+
+TEST(FrameTrace, RecordsAllEventKindsAndLinkStats) {
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}}};
+  FrameTrace trace;
+  f.medium.setObserver(&trace);
+  // Clean delivery 0->1, then a collision at 1 (0 and 2 overlap).
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.sim.run();
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.medium.startTransmission(makeFrame(2, 1, 100));
+  f.sim.run();
+
+  int tx = 0;
+  int rx = 0;
+  int coll = 0;
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case FrameTrace::EventKind::kTxStart: ++tx; break;
+      case FrameTrace::EventKind::kDelivery: ++rx; break;
+      case FrameTrace::EventKind::kCorruption: ++coll; break;
+    }
+  }
+  EXPECT_EQ(tx, 3);
+  EXPECT_GE(coll, 2);  // both overlapping frames corrupted at receivers
+  EXPECT_GE(rx, 1);
+
+  const auto& stats = trace.linkStats();
+  ASSERT_TRUE(stats.contains(topo::Link{0, 1}));
+  EXPECT_EQ(stats.at(topo::Link{0, 1}).delivered, 1);
+  EXPECT_EQ(stats.at(topo::Link{0, 1}).corrupted, 1);
+  EXPECT_DOUBLE_EQ(stats.at(topo::Link{0, 1}).corruptionRatio(), 0.5);
+}
+
+TEST(FrameTrace, NodeFilterRestrictsRecordedEvents) {
+  Fixture f{{{0, 0}, {200, 0}, {400, 0}}};
+  FrameTrace trace;
+  trace.filterNode(2);
+  f.medium.setObserver(&trace);
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.sim.run();
+  // Node 2 only appears as an overhearing receiver of the delivery.
+  for (const auto& e : trace.events()) {
+    EXPECT_TRUE(e.transmitter == 2 || e.addressee == 2 || e.receiver == 2);
+  }
+  EXPECT_EQ(trace.totalObserved(), trace.events().size());
+}
+
+TEST(FrameTrace, CapacityBoundsRetainedEvents) {
+  Fixture f{{{0, 0}, {200, 0}}};
+  FrameTrace trace{8};
+  f.medium.setObserver(&trace);
+  for (int i = 0; i < 20; ++i) {
+    f.medium.startTransmission(makeFrame(0, 1, 10));
+    f.sim.run();
+  }
+  EXPECT_LE(trace.events().size(), 8u + 4u);
+  EXPECT_EQ(trace.totalObserved(), 40u);  // 20 tx + 20 deliveries
+}
+
+TEST(FrameTrace, DumpFormatsEvents) {
+  Fixture f{{{0, 0}, {200, 0}}};
+  FrameTrace trace;
+  f.medium.setObserver(&trace);
+  f.medium.startTransmission(makeFrame(0, 1, 100));
+  f.sim.run();
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_NE(os.str().find("TX   DATA 0>1"), std::string::npos);
+  EXPECT_NE(os.str().find("rx=1"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.totalObserved(), 0u);
+}
+
+}  // namespace
+}  // namespace maxmin::phys
+

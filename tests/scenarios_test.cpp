@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "gmp/engine.hpp"
+#include "scenarios/scenarios.hpp"
+#include "topology/conflict_graph.hpp"
+#include "topology/routing.hpp"
+
+namespace maxmin::scenarios {
+namespace {
+
+TEST(Fig2, GeometryRealizesThePaperCliques) {
+  const auto sc = fig2();
+  const auto& t = sc.topology;
+  // Chain adjacency.
+  EXPECT_TRUE(t.areNeighbors(0, 1));
+  EXPECT_TRUE(t.areNeighbors(1, 2));
+  EXPECT_TRUE(t.areNeighbors(3, 4));
+  EXPECT_TRUE(t.areNeighbors(4, 5));
+  EXPECT_FALSE(t.areNeighbors(2, 3));
+  // Contention relations stated in §7.1.
+  using topo::ConflictGraph;
+  using topo::Link;
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{1, 2}));
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{1, 2}, Link{3, 4}));
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{1, 2}, Link{4, 5}));
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{3, 4}, Link{4, 5}));
+  EXPECT_FALSE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{3, 4}));
+  EXPECT_FALSE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{4, 5}));
+}
+
+TEST(Fig2, FlowsAreTheSingleHopPaperFlows) {
+  const auto sc = fig2({1, 2, 1, 3});
+  ASSERT_EQ(sc.flows.size(), 4u);
+  EXPECT_EQ(sc.flows[0].src, 0);
+  EXPECT_EQ(sc.flows[0].dst, 1);
+  EXPECT_EQ(sc.flows[1].src, 1);
+  EXPECT_EQ(sc.flows[1].dst, 2);
+  EXPECT_EQ(sc.flows[1].weight, 2.0);
+  EXPECT_EQ(sc.flows[3].weight, 3.0);
+  for (const auto& f : sc.flows) {
+    EXPECT_DOUBLE_EQ(f.desiredRate.asPerSecond(), 800.0);
+  }
+}
+
+TEST(Fig3, ChainWithThreeFlowsToCommonSink) {
+  const auto sc = fig3();
+  ASSERT_EQ(sc.flows.size(), 3u);
+  for (const auto& f : sc.flows) EXPECT_EQ(f.dst, 3);
+  const auto tree = topo::RoutingTree::shortestPaths(sc.topology, 3);
+  EXPECT_EQ(tree.hopCount(0), 3);
+  EXPECT_EQ(tree.hopCount(1), 2);
+  EXPECT_EQ(tree.hopCount(2), 1);
+}
+
+TEST(Fig4, AdjacentChainsContendChainsTwoApartDoNot) {
+  const auto sc = fig4();
+  using topo::ConflictGraph;
+  using topo::Link;
+  const auto& t = sc.topology;
+  // Chain 0 link vs chain 1 link: contend.
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{3, 4}));
+  // Chain 0 vs chain 2: independent.
+  EXPECT_FALSE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{6, 7}));
+  EXPECT_FALSE(ConflictGraph::linksConflict(t, Link{1, 2}, Link{7, 8}));
+}
+
+TEST(Fig4, HopCountsRecoverThePaperEffectiveThroughput) {
+  // The paper's U values pin down the hop pattern: odd flows 2 hops,
+  // even flows 1 hop (see DESIGN.md E4).
+  const auto sc = fig4();
+  ASSERT_EQ(sc.flows.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& f = sc.flows[i];
+    const auto tree = topo::RoutingTree::shortestPaths(sc.topology, f.dst);
+    EXPECT_EQ(tree.hopCount(f.src), i % 2 == 0 ? 2 : 1) << "flow " << i;
+  }
+  // Check the paper's published rates against those hop counts.
+  const double rates80211[] = {221.81, 221.81, 107.29, 107.28,
+                               106.36, 106.36, 223.39, 223.39};
+  double u = 0;
+  for (std::size_t i = 0; i < 8; ++i) u += rates80211[i] * (i % 2 == 0 ? 2 : 1);
+  EXPECT_NEAR(u, 1976.54, 0.05);
+}
+
+TEST(Fig1, FlowsSharePathsAsInThePaperFigure) {
+  const auto sc = fig1();
+  const auto& t = sc.topology;
+  // f1 and f2 share relay nodes i (2) and j (3).
+  const auto p1 =
+      topo::RoutingTree::shortestPaths(t, sc.flows[0].dst).pathFrom(0);
+  const auto p2 =
+      topo::RoutingTree::shortestPaths(t, sc.flows[1].dst).pathFrom(1);
+  EXPECT_EQ(p1, (std::vector<topo::NodeId>{0, 2, 3, 4, 5}));
+  EXPECT_EQ(p2, (std::vector<topo::NodeId>{1, 2, 3, 6}));
+  // f1's path is longer than f2's, and its links mutually contend, so
+  // (z,t) backpressures the whole f1 path.
+  using topo::ConflictGraph;
+  using topo::Link;
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{2, 3}, Link{4, 5}));
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{3, 4}, Link{4, 5}));
+  // x and y are symmetric w.r.t. node i (fair competition premise).
+  EXPECT_NEAR(t.distanceBetween(0, 2), t.distanceBetween(1, 2), 1e-9);
+}
+
+TEST(Chain, BuildsRequestedLength) {
+  const auto sc = chain(5);
+  EXPECT_EQ(sc.topology.numNodes(), 5);
+  ASSERT_EQ(sc.flows.size(), 1u);
+  EXPECT_EQ(sc.flows[0].src, 0);
+  EXPECT_EQ(sc.flows[0].dst, 4);
+}
+
+class RandomMeshTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMeshTest, FlowsAreRoutableAndDistinct) {
+  const auto sc = randomMesh(static_cast<std::uint64_t>(GetParam()), 12,
+                             1000.0, 5);
+  EXPECT_EQ(sc.flows.size(), 5u);
+  std::set<std::pair<topo::NodeId, topo::NodeId>> pairs;
+  for (const auto& f : sc.flows) {
+    const auto tree = topo::RoutingTree::shortestPaths(sc.topology, f.dst);
+    EXPECT_TRUE(tree.reaches(f.src));
+    EXPECT_TRUE(pairs.insert({f.src, f.dst}).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMeshTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace maxmin::scenarios

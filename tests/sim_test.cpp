@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "util/check.hpp"
+
+namespace maxmin::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(Duration::micros(30), [&] { order.push_back(3); });
+  s.schedule(Duration::micros(10), [&] { order.push_back(1); });
+  s.schedule(Duration::micros(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().asMicros(), 30);
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(Duration::micros(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ZeroDelayRunsAfterCurrentInstantFifo) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(Duration::micros(1), [&] {
+    order.push_back(1);
+    s.schedule(Duration::zero(), [&] { order.push_back(2); });
+  });
+  s.schedule(Duration::micros(1), [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule(Duration::micros(10), [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator s;
+  int runs = 0;
+  const EventId id = s.schedule(Duration::micros(1), [&] { ++runs; });
+  s.run();
+  s.cancel(id);  // already fired: no-op
+  s.cancel(id);
+  s.schedule(Duration::micros(1), [&] { ++runs; });
+  s.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
+  Simulator s;
+  int runs = 0;
+  s.schedule(Duration::micros(10), [&] { ++runs; });
+  s.schedule(Duration::micros(100), [&] { ++runs; });
+  s.runUntil(TimePoint::origin() + Duration::micros(50));
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(s.now().asMicros(), 50);
+  s.runUntil(TimePoint::origin() + Duration::micros(200));
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(s.now().asMicros(), 200);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator s;
+  bool ran = false;
+  s.schedule(Duration::micros(50), [&] { ran = true; });
+  s.runUntil(TimePoint::origin() + Duration::micros(50));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s;
+  s.schedule(Duration::micros(10), [] {});
+  s.run();
+  EXPECT_THROW(s.scheduleAt(TimePoint::origin() + Duration::micros(5), [] {}),
+               InvariantViolation);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule(Duration::micros(1), recurse);
+  };
+  s.schedule(Duration::micros(1), recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now().asMicros(), 5);
+  EXPECT_EQ(s.executedEvents(), 5u);
+}
+
+TEST(Timer, ArmAndFire) {
+  Simulator s;
+  Timer t{s};
+  bool fired = false;
+  t.arm(Duration::micros(10), [&] { fired = true; });
+  EXPECT_TRUE(t.pending());
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulator s;
+  Timer t{s};
+  int which = 0;
+  t.arm(Duration::micros(10), [&] { which = 1; });
+  t.arm(Duration::micros(20), [&] { which = 2; });
+  s.run();
+  EXPECT_EQ(which, 2);
+  EXPECT_EQ(s.now().asMicros(), 20);
+}
+
+TEST(Timer, CancelStopsFire) {
+  Simulator s;
+  Timer t{s};
+  bool fired = false;
+  t.arm(Duration::micros(10), [&] { fired = true; });
+  t.cancel();
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, CallbackMayRearm) {
+  Simulator s;
+  Timer t{s};
+  int count = 0;
+  std::function<void()> fn = [&] {
+    if (++count < 3) t.arm(Duration::micros(10), fn);
+  };
+  t.arm(Duration::micros(10), fn);
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.now().asMicros(), 30);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator s;
+  bool fired = false;
+  {
+    Timer t{s};
+    t.arm(Duration::micros(10), [&] { fired = true; });
+  }
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(PeriodicTimer, FiresAtFixedInterval) {
+  Simulator s;
+  PeriodicTimer p{s};
+  std::vector<std::int64_t> times;
+  p.start(Duration::micros(100), [&] {
+    times.push_back(s.now().asMicros());
+    if (times.size() == 3) p.stop();
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{100, 200, 300}));
+}
+
+TEST(PeriodicTimer, InitialDelayDiffersFromPeriod) {
+  Simulator s;
+  PeriodicTimer p{s};
+  std::vector<std::int64_t> times;
+  p.start(Duration::micros(5), Duration::micros(100), [&] {
+    times.push_back(s.now().asMicros());
+    if (times.size() == 2) p.stop();
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{5, 105}));
+}
+
+}  // namespace
+}  // namespace maxmin::sim

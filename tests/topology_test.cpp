@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/cliques.hpp"
+#include "topology/conflict_graph.hpp"
+#include "topology/dominating_set.hpp"
+#include "topology/routing.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace maxmin::topo {
+namespace {
+
+Topology chain(int n, double spacing, RadioRanges ranges = {}) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({spacing * i, 0.0});
+  }
+  return Topology::fromPositions(std::move(pts), ranges);
+}
+
+TEST(Topology, NeighborRelationIsSymmetricAndRangeBased) {
+  const Topology t = chain(4, 200.0);
+  EXPECT_TRUE(t.areNeighbors(0, 1));
+  EXPECT_TRUE(t.areNeighbors(1, 0));
+  EXPECT_FALSE(t.areNeighbors(0, 2));  // 400 m > 250 m
+  EXPECT_FALSE(t.areNeighbors(2, 2));
+  EXPECT_EQ(t.neighbors(1), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Topology, CarrierSenseRangeExceedsTxRange) {
+  const Topology t = chain(4, 200.0);
+  EXPECT_TRUE(t.inCsRange(0, 2));   // 400 <= 550
+  EXPECT_FALSE(t.inCsRange(0, 3));  // 600 > 550
+}
+
+TEST(Topology, TwoHopNeighborhood) {
+  const Topology t = chain(6, 200.0);
+  EXPECT_EQ(t.twoHopNeighborhood(0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(t.twoHopNeighborhood(2), (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(Topology, RejectsCsSmallerThanTx) {
+  EXPECT_THROW(
+      Topology::fromPositions({{0, 0}, {1, 1}}, RadioRanges{250.0, 100.0}),
+      InvariantViolation);
+}
+
+TEST(ConflictGraph, SharedEndpointAlwaysConflicts) {
+  const Topology t = chain(5, 200.0);
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{1, 2}));
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{2, 1}));
+}
+
+TEST(ConflictGraph, CsRangeEndpointConflicts) {
+  const Topology t = chain(6, 200.0);
+  // (0,1) vs (2,3): endpoint 1 and 2 are 200 m apart -> conflict.
+  EXPECT_TRUE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{2, 3}));
+  // (0,1) vs (4,5): closest endpoints 1 and 4 are 600 m apart -> no conflict.
+  EXPECT_FALSE(ConflictGraph::linksConflict(t, Link{0, 1}, Link{4, 5}));
+}
+
+TEST(ConflictGraph, AdjacencyMatchesPairwisePredicate) {
+  const Topology t = chain(6, 200.0);
+  const std::vector<Link> links{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  const ConflictGraph g{t, links};
+  for (int a = 0; a < g.numLinks(); ++a) {
+    for (int b = 0; b < g.numLinks(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(g.conflicts(a, b),
+                ConflictGraph::linksConflict(
+                    t, g.links()[static_cast<std::size_t>(a)],
+                    g.links()[static_cast<std::size_t>(b)]));
+    }
+  }
+}
+
+TEST(ConflictGraph, RejectsNonNeighborLink) {
+  const Topology t = chain(3, 200.0);
+  EXPECT_THROW((ConflictGraph{t, {Link{0, 2}}}), InvariantViolation);
+}
+
+TEST(ConflictGraph, RejectsDuplicateLinks) {
+  const Topology t = chain(3, 200.0);
+  EXPECT_THROW((ConflictGraph{t, {Link{0, 1}, Link{0, 1}}}),
+               InvariantViolation);
+}
+
+TEST(ConflictGraph, IndexOfFindsSortedLinks) {
+  const Topology t = chain(4, 200.0);
+  const ConflictGraph g{t, {Link{2, 3}, Link{0, 1}}};
+  EXPECT_EQ(g.indexOf(Link{0, 1}), 0);
+  EXPECT_EQ(g.indexOf(Link{2, 3}), 1);
+  EXPECT_EQ(g.indexOf(Link{1, 2}), -1);
+}
+
+// --- cliques ---------------------------------------------------------------
+
+bool isClique(const ConflictGraph& g, const std::vector<int>& members) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!g.conflicts(members[i], members[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool isMaximal(const ConflictGraph& g, const std::vector<int>& members) {
+  for (int v = 0; v < g.numLinks(); ++v) {
+    if (std::find(members.begin(), members.end(), v) != members.end())
+      continue;
+    bool extends = true;
+    for (int m : members) {
+      if (!g.conflicts(v, m)) {
+        extends = false;
+        break;
+      }
+    }
+    if (extends) return false;
+  }
+  return true;
+}
+
+TEST(Cliques, ChainOfFiveLinks) {
+  const Topology t = chain(6, 200.0);
+  const std::vector<Link> links{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  const ConflictGraph g{t, links};
+  const auto cliques = enumerateMaximalCliques(g);
+  for (const Clique& c : cliques) {
+    EXPECT_TRUE(isClique(g, c.linkIndices));
+    EXPECT_TRUE(isMaximal(g, c.linkIndices));
+  }
+  // Every link covered.
+  std::set<int> covered;
+  for (const Clique& c : cliques)
+    covered.insert(c.linkIndices.begin(), c.linkIndices.end());
+  EXPECT_EQ(covered.size(), links.size());
+}
+
+TEST(Cliques, IsolatedLinkFormsSingletonClique) {
+  // Two far-apart pairs.
+  const Topology t = Topology::fromPositions(
+      {{0, 0}, {200, 0}, {5000, 0}, {5200, 0}});
+  const ConflictGraph g{t, {Link{0, 1}, Link{2, 3}}};
+  const auto cliques = enumerateMaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_EQ(cliques[0].linkIndices.size(), 1u);
+  EXPECT_EQ(cliques[1].linkIndices.size(), 1u);
+}
+
+TEST(Cliques, IdsAreUniqueAndOwnedBySmallestNode) {
+  const Topology t = chain(6, 200.0);
+  const ConflictGraph g{t, {Link{0, 1}, Link{1, 2}, Link{2, 3}, Link{3, 4},
+                            Link{4, 5}}};
+  const auto cliques = enumerateMaximalCliques(g);
+  std::set<std::pair<NodeId, int>> ids;
+  for (const Clique& c : cliques) {
+    ids.insert({c.id.owner, c.id.sequence});
+    NodeId smallest = kNoNode;
+    for (int idx : c.linkIndices) {
+      const Link& l = g.links()[static_cast<std::size_t>(idx)];
+      const NodeId lo = std::min(l.from, l.to);
+      if (smallest == kNoNode || lo < smallest) smallest = lo;
+    }
+    EXPECT_EQ(c.id.owner, smallest);
+  }
+  EXPECT_EQ(ids.size(), cliques.size());
+}
+
+TEST(Cliques, ByLinkIndexIsConsistent) {
+  const Topology t = chain(6, 200.0);
+  const ConflictGraph g{t, {Link{0, 1}, Link{1, 2}, Link{2, 3}, Link{3, 4},
+                            Link{4, 5}}};
+  const auto cliques = enumerateMaximalCliques(g);
+  const auto byLink = cliquesByLink(g, cliques);
+  ASSERT_EQ(byLink.size(), static_cast<std::size_t>(g.numLinks()));
+  for (int l = 0; l < g.numLinks(); ++l) {
+    EXPECT_FALSE(byLink[static_cast<std::size_t>(l)].empty());
+    for (int c : byLink[static_cast<std::size_t>(l)]) {
+      const auto& m = cliques[static_cast<std::size_t>(c)].linkIndices;
+      EXPECT_TRUE(std::find(m.begin(), m.end(), l) != m.end());
+    }
+  }
+}
+
+// Property test: on random geometric topologies every enumerated clique is
+// a maximal clique, and a brute-force check finds no maximal clique the
+// enumeration missed (small instances).
+class CliquePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliquePropertyTest, MatchesBruteForceOnRandomTopologies) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<Point> pts;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniformReal(0, 900), rng.uniformReal(0, 900)});
+  }
+  const Topology t = Topology::fromPositions(pts);
+  std::vector<Link> links;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b : t.neighbors(a)) {
+      if (a < b) links.push_back(Link{a, b});
+    }
+  }
+  if (links.empty()) return;
+  const ConflictGraph g{t, links};
+  const auto cliques = enumerateMaximalCliques(g);
+
+  for (const Clique& c : cliques) {
+    EXPECT_TRUE(isClique(g, c.linkIndices));
+    EXPECT_TRUE(isMaximal(g, c.linkIndices));
+  }
+
+  // Brute force over all subsets (numLinks is small for n=8).
+  if (g.numLinks() <= 16) {
+    std::set<std::vector<int>> enumerated;
+    for (const Clique& c : cliques) enumerated.insert(c.linkIndices);
+    const int m = g.numLinks();
+    for (int mask = 1; mask < (1 << m); ++mask) {
+      std::vector<int> members;
+      for (int v = 0; v < m; ++v) {
+        if (mask & (1 << v)) members.push_back(v);
+      }
+      if (isClique(g, members) && isMaximal(g, members)) {
+        EXPECT_TRUE(enumerated.contains(members))
+            << "brute force found a maximal clique the enumeration missed";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliquePropertyTest,
+                         ::testing::Range(1, 21));
+
+// --- dominating sets ---------------------------------------------------------
+
+class DominatingSetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominatingSetPropertyTest, CoversTwoHopNeighborhood) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 977 + 5};
+  std::vector<Point> pts;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniformReal(0, 700), rng.uniformReal(0, 700)});
+  }
+  const Topology t = Topology::fromPositions(pts);
+  for (NodeId center = 0; center < n; ++center) {
+    const auto relays = computeDominatingSet(t, center);
+    // All relays are one-hop neighbors.
+    const auto& oneHop = t.neighbors(center);
+    for (NodeId r : relays) {
+      EXPECT_TRUE(std::binary_search(oneHop.begin(), oneHop.end(), r));
+    }
+    // Coverage: relayed broadcast reaches the whole 2-hop neighborhood.
+    const auto covered = relayCoverage(t, center, relays);
+    const auto target = t.twoHopNeighborhood(center);
+    EXPECT_TRUE(std::includes(covered.begin(), covered.end(), target.begin(),
+                              target.end()))
+        << "dominating set of node " << center << " misses 2-hop neighbors";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatingSetPropertyTest,
+                         ::testing::Range(1, 16));
+
+TEST(DominatingSet, ChainPicksSingleRelayPerSide) {
+  const Topology t = chain(5, 200.0);
+  // Node 2's two-hop neighbors {0,4} are covered via relays {1,3}.
+  EXPECT_EQ(computeDominatingSet(t, 2), (std::vector<NodeId>{1, 3}));
+  // Node 0: two-hop neighbor {2} via relay {1}.
+  EXPECT_EQ(computeDominatingSet(t, 0), (std::vector<NodeId>{1}));
+}
+
+// --- routing -----------------------------------------------------------------
+
+TEST(Routing, ChainPaths) {
+  const Topology t = chain(4, 200.0);
+  const RoutingTree r = RoutingTree::shortestPaths(t, 3);
+  EXPECT_EQ(r.nextHop(0), 1);
+  EXPECT_EQ(r.nextHop(1), 2);
+  EXPECT_EQ(r.nextHop(2), 3);
+  EXPECT_EQ(r.nextHop(3), kNoNode);
+  EXPECT_EQ(r.pathFrom(0), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.hopCount(0), 3);
+  EXPECT_EQ(r.hopCount(3), 0);
+  EXPECT_TRUE(r.reaches(3));
+}
+
+TEST(Routing, UnreachableNodes) {
+  const Topology t = Topology::fromPositions({{0, 0}, {200, 0}, {5000, 0}});
+  const RoutingTree r = RoutingTree::shortestPaths(t, 0);
+  EXPECT_TRUE(r.reaches(1));
+  EXPECT_FALSE(r.reaches(2));
+  EXPECT_EQ(r.hopCount(2), -1);
+  EXPECT_TRUE(r.pathFrom(2).empty());
+}
+
+TEST(Routing, ShortestPathLengthOnGrid) {
+  // 3x3 grid with 200 m spacing: diagonal corner is 4 hops away.
+  std::vector<Point> pts;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) pts.push_back({x * 200.0, y * 200.0});
+  }
+  const Topology t = Topology::fromPositions(pts);
+  const RoutingTree r = RoutingTree::shortestPaths(t, 8);
+  EXPECT_EQ(r.hopCount(0), 4);
+  EXPECT_EQ(r.hopCount(4), 2);
+}
+
+class RoutingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingPropertyTest, TreesAreAcyclicAndShortest) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 7};
+  std::vector<Point> pts;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniformReal(0, 800), rng.uniformReal(0, 800)});
+  }
+  const Topology t = Topology::fromPositions(pts);
+  for (NodeId dest = 0; dest < n; ++dest) {
+    const RoutingTree r = RoutingTree::shortestPaths(t, dest);
+    for (NodeId from = 0; from < n; ++from) {
+      if (!r.reaches(from)) continue;
+      const auto path = r.pathFrom(from);  // throws on loops
+      // Hop count decreases by exactly one along the path (shortest).
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(r.hopCount(path[i]), r.hopCount(path[i + 1]) + 1);
+        EXPECT_TRUE(t.areNeighbors(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace maxmin::topo

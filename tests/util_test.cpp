@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace maxmin {
+namespace {
+
+TEST(Duration, ArithmeticAndComparison) {
+  const Duration a = Duration::millis(2);
+  const Duration b = Duration::micros(500);
+  EXPECT_EQ((a + b).asMicros(), 2500);
+  EXPECT_EQ((a - b).asMicros(), 1500);
+  EXPECT_EQ((b * 4).asMicros(), 2000);
+  EXPECT_EQ((a / 2).asMicros(), 1000);
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(Duration::seconds(1.5).asSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(b.ratio(a), 0.25);
+}
+
+TEST(TimePoint, OffsetAndDifference) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::micros(42);
+  EXPECT_EQ((t1 - t0).asMicros(), 42);
+  EXPECT_EQ((t1 - Duration::micros(2)).asMicros(), 40);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(BitRate, TxTimeRoundsUpToWholeMicroseconds) {
+  const BitRate r = BitRate::megaBitsPerSecond(11.0);
+  // 1052 bytes at 11 Mb/s = 765.09 us -> 766 us.
+  EXPECT_EQ(r.txTime(DataSize::bytes(1052)).asMicros(), 766);
+  // Exact case: 1 Mb/s, 125 bytes = 1000 us exactly.
+  EXPECT_EQ(BitRate::megaBitsPerSecond(1.0).txTime(DataSize::bytes(125)).asMicros(),
+            1000);
+}
+
+TEST(PacketRate, IntervalInverse) {
+  EXPECT_EQ(PacketRate::perSecond(800.0).interval().asMicros(), 1250);
+  EXPECT_EQ(PacketRate::perSecond(1.0).interval().asMicros(), 1000000);
+}
+
+TEST(RunningStats, MeanVarMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(WindowedCounter, RatePerSecond) {
+  WindowedCounter c;
+  c.add(10);
+  c.add(30);
+  const TimePoint start = TimePoint::origin();
+  const TimePoint end = start + Duration::seconds(4.0);
+  EXPECT_DOUBLE_EQ(c.closeWindow(start, end), 10.0);
+  EXPECT_EQ(c.pending(), 0);
+}
+
+TEST(BusyTimeAccumulator, FractionAccounting) {
+  BusyTimeAccumulator acc;
+  const TimePoint t0 = TimePoint::origin();
+  acc.beginWindow(t0);
+  acc.set(true, t0 + Duration::micros(100));
+  acc.set(false, t0 + Duration::micros(300));
+  // 200 of 400 us busy.
+  EXPECT_DOUBLE_EQ(acc.fraction(t0, t0 + Duration::micros(400)), 0.5);
+  // Still-on interval counts up to 'now'.
+  acc.set(true, t0 + Duration::micros(400));
+  EXPECT_DOUBLE_EQ(acc.fraction(t0, t0 + Duration::micros(800)),
+                   (200.0 + 400.0) / 800.0);
+}
+
+TEST(BusyTimeAccumulator, RedundantTransitionsIgnored) {
+  BusyTimeAccumulator acc;
+  const TimePoint t0 = TimePoint::origin();
+  acc.beginWindow(t0);
+  acc.set(true, t0 + Duration::micros(10));
+  acc.set(true, t0 + Duration::micros(20));  // ignored
+  acc.set(false, t0 + Duration::micros(30));
+  EXPECT_DOUBLE_EQ(acc.fraction(t0, t0 + Duration::micros(40)), 0.5);
+}
+
+TEST(BusyTimeAccumulator, WindowRestartCarriesState) {
+  BusyTimeAccumulator acc;
+  const TimePoint t0 = TimePoint::origin();
+  acc.beginWindow(t0);
+  acc.set(true, t0);
+  const TimePoint t1 = t0 + Duration::micros(100);
+  EXPECT_DOUBLE_EQ(acc.fraction(t0, t1), 1.0);
+  acc.beginWindow(t1);
+  EXPECT_DOUBLE_EQ(acc.fraction(t1, t1 + Duration::micros(50)), 1.0);
+}
+
+TEST(FairnessIndices, JainIndex) {
+  EXPECT_DOUBLE_EQ(jainIndex({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(jainIndex({0.0, 0.0}), 1.0);
+  // One user hogging: index -> 1/n.
+  EXPECT_NEAR(jainIndex({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_NEAR(jainIndex({4.0, 1.0, 1.0}), 36.0 / (3.0 * 18.0), 1e-12);
+}
+
+TEST(FairnessIndices, MaxminIndex) {
+  EXPECT_DOUBLE_EQ(maxminIndex({2.0, 4.0}), 0.5);
+  EXPECT_DOUBLE_EQ(maxminIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(maxminIndex({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(maxminIndex({0.0, 5.0}), 0.0);
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  Table t({"flow", "rate"});
+  t.addRow({"f1", Table::num(563.957)});
+  t.addRow({"f2", Table::num(196.0)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("563.96"), std::string::npos);
+  EXPECT_NE(out.find("| flow"), std::string::npos);
+
+  std::ostringstream csv;
+  t.printCsv(csv);
+  EXPECT_NE(csv.str().find("flow,rate\nf1,563.96\n"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), InvariantViolation);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng a{7};
+  Rng fork1 = a.fork();
+  Rng c{7};
+  Rng fork2 = c.fork();
+  EXPECT_EQ(fork1.uniformInt(0, 1 << 30), fork2.uniformInt(0, 1 << 30));
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r{3};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r{11};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    MAXMIN_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace maxmin

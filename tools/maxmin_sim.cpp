@@ -1,0 +1,159 @@
+// maxmin_sim — command-line experiment runner.
+//
+// Runs any built-in scenario (or a random mesh) under 802.11 / 2PP / GMP
+// and prints per-flow rates plus the paper's metrics, as a table or CSV.
+//
+// Examples:
+//   maxmin_sim --scenario fig3 --protocol gmp
+//   maxmin_sim --scenario fig2w --protocol gmp --duration 400 --seed 9
+//   maxmin_sim --scenario mesh --nodes 12 --flows 5 --protocol 802.11 --csv
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "scenarios/scenarios.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+struct Options {
+  std::string scenario = "fig3";
+  std::string protocol = "gmp";
+  double durationSeconds = 400.0;
+  double warmupSeconds = 200.0;
+  std::uint64_t seed = 7;
+  int nodes = 12;       // mesh only
+  int flows = 5;        // mesh only
+  double area = 1000.0; // mesh only
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --scenario  fig1|fig2|fig2w|fig3|fig4|chain|mesh  (default fig3)\n"
+      << "  --protocol  802.11|2pp|gmp                        (default gmp)\n"
+      << "  --duration  seconds                               (default 400)\n"
+      << "  --warmup    seconds                               (default 200)\n"
+      << "  --seed      integer                               (default 7)\n"
+      << "  --nodes/--flows/--area   random-mesh parameters\n"
+      << "  --csv       emit CSV instead of a table\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      o.scenario = value();
+    } else if (arg == "--protocol") {
+      o.protocol = value();
+    } else if (arg == "--duration") {
+      o.durationSeconds = std::stod(value());
+    } else if (arg == "--warmup") {
+      o.warmupSeconds = std::stod(value());
+    } else if (arg == "--seed") {
+      o.seed = std::stoull(value());
+    } else if (arg == "--nodes") {
+      o.nodes = std::stoi(value());
+    } else if (arg == "--flows") {
+      o.flows = std::stoi(value());
+    } else if (arg == "--area") {
+      o.area = std::stod(value());
+    } else if (arg == "--csv") {
+      o.csv = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+scenarios::Scenario pickScenario(const Options& o) {
+  if (o.scenario == "fig1") return scenarios::fig1();
+  if (o.scenario == "fig2") return scenarios::fig2();
+  if (o.scenario == "fig2w") return scenarios::fig2({1, 2, 1, 3});
+  if (o.scenario == "fig3") return scenarios::fig3();
+  if (o.scenario == "fig4") return scenarios::fig4();
+  if (o.scenario == "chain") return scenarios::chain(5);
+  if (o.scenario == "mesh") {
+    return scenarios::randomMesh(o.seed, o.nodes, o.area, o.flows);
+  }
+  std::cerr << "unknown scenario '" << o.scenario << "'\n";
+  std::exit(2);
+}
+
+analysis::Protocol pickProtocol(const Options& o) {
+  if (o.protocol == "802.11" || o.protocol == "dcf") {
+    return analysis::Protocol::kDcf80211;
+  }
+  if (o.protocol == "2pp") return analysis::Protocol::kTwoPhase;
+  if (o.protocol == "gmp") return analysis::Protocol::kGmp;
+  std::cerr << "unknown protocol '" << o.protocol << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  const auto scenario = pickScenario(options);
+
+  analysis::RunConfig cfg;
+  cfg.protocol = pickProtocol(options);
+  cfg.duration = Duration::seconds(options.durationSeconds);
+  cfg.warmup = Duration::seconds(options.warmupSeconds);
+  cfg.seed = options.seed;
+  if (cfg.warmup >= cfg.duration) {
+    std::cerr << "warmup must be shorter than duration\n";
+    return 2;
+  }
+
+  const auto result = analysis::runScenario(scenario, cfg);
+
+  Table table({"flow", "src>dst", "weight", "hops", "rate_pps", "mu"});
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    const auto& f = result.flows[i];
+    const auto& spec = scenario.flows[i];
+    table.addRow({f.name,
+                  std::to_string(spec.src) + ">" + std::to_string(spec.dst),
+                  Table::num(f.weight, 1), std::to_string(f.hops),
+                  Table::num(f.ratePps), Table::num(f.ratePps / f.weight)});
+  }
+  Table metrics({"metric", "value"});
+  metrics.addRow({"protocol", analysis::protocolName(result.protocol)});
+  metrics.addRow({"scenario", scenario.name});
+  metrics.addRow({"U_pkt_hops_per_s",
+                  Table::num(result.summary.effectiveThroughputPps)});
+  metrics.addRow({"I_mm", Table::num(result.summary.imm, 4)});
+  metrics.addRow({"I_eq", Table::num(result.summary.ieq, 4)});
+  metrics.addRow({"I_mm_normalized",
+                  Table::num(result.normalizedSummary.imm, 4)});
+  metrics.addRow({"queue_drops", std::to_string(result.queueDrops)});
+
+  if (options.csv) {
+    table.printCsv(std::cout);
+    std::cout << '\n';
+    metrics.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << '\n';
+    metrics.print(std::cout);
+    if (!result.violationHistory.empty()) {
+      std::cout << "\nGMP violations per period:";
+      for (int v : result.violationHistory) std::cout << ' ' << v;
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}
