@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_convergence.cpp" "bench/CMakeFiles/bench_convergence.dir/bench_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_convergence.dir/bench_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/maxmin_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenarios/CMakeFiles/maxmin_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmp/CMakeFiles/maxmin_gmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/maxmin_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/maxmin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/maxmin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/maxmin_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/maxmin_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maxmin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/maxmin_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxmin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_isolation.dir/queueing_isolation.cpp.o"
+  "CMakeFiles/queueing_isolation.dir/queueing_isolation.cpp.o.d"
+  "queueing_isolation"
+  "queueing_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

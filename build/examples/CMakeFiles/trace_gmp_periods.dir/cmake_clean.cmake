@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_gmp_periods.dir/trace_gmp_periods.cpp.o"
+  "CMakeFiles/trace_gmp_periods.dir/trace_gmp_periods.cpp.o.d"
+  "trace_gmp_periods"
+  "trace_gmp_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_gmp_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_service_classes.dir/weighted_service_classes.cpp.o"
+  "CMakeFiles/weighted_service_classes.dir/weighted_service_classes.cpp.o.d"
+  "weighted_service_classes"
+  "weighted_service_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_service_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("topology")
+subdirs("phys")
+subdirs("mac")
+subdirs("net")
+subdirs("gmp")
+subdirs("fluid")
+subdirs("baselines")
+subdirs("scenarios")
+subdirs("analysis")

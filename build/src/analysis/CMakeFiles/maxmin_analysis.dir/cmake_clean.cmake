@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/maxmin_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/maxmin_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/maxmin_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/maxmin_analysis.dir/maxmin_solver.cpp.o"
+  "CMakeFiles/maxmin_analysis.dir/maxmin_solver.cpp.o.d"
+  "CMakeFiles/maxmin_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/maxmin_analysis.dir/metrics.cpp.o.d"
+  "libmaxmin_analysis.a"
+  "libmaxmin_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

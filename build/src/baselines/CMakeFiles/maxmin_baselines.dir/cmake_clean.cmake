@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_baselines.dir/configs.cpp.o"
+  "CMakeFiles/maxmin_baselines.dir/configs.cpp.o.d"
+  "CMakeFiles/maxmin_baselines.dir/two_phase.cpp.o"
+  "CMakeFiles/maxmin_baselines.dir/two_phase.cpp.o.d"
+  "libmaxmin_baselines.a"
+  "libmaxmin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_fluid.dir/fluid_gmp.cpp.o"
+  "CMakeFiles/maxmin_fluid.dir/fluid_gmp.cpp.o.d"
+  "CMakeFiles/maxmin_fluid.dir/fluid_network.cpp.o"
+  "CMakeFiles/maxmin_fluid.dir/fluid_network.cpp.o.d"
+  "libmaxmin_fluid.a"
+  "libmaxmin_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

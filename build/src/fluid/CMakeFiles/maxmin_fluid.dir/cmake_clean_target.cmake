@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaxmin_fluid.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmp/controller.cpp" "src/gmp/CMakeFiles/maxmin_gmp.dir/controller.cpp.o" "gcc" "src/gmp/CMakeFiles/maxmin_gmp.dir/controller.cpp.o.d"
+  "/root/repo/src/gmp/dissemination.cpp" "src/gmp/CMakeFiles/maxmin_gmp.dir/dissemination.cpp.o" "gcc" "src/gmp/CMakeFiles/maxmin_gmp.dir/dissemination.cpp.o.d"
+  "/root/repo/src/gmp/engine.cpp" "src/gmp/CMakeFiles/maxmin_gmp.dir/engine.cpp.o" "gcc" "src/gmp/CMakeFiles/maxmin_gmp.dir/engine.cpp.o.d"
+  "/root/repo/src/gmp/neighborhood.cpp" "src/gmp/CMakeFiles/maxmin_gmp.dir/neighborhood.cpp.o" "gcc" "src/gmp/CMakeFiles/maxmin_gmp.dir/neighborhood.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/maxmin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/maxmin_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/maxmin_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/maxmin_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maxmin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxmin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_gmp.dir/controller.cpp.o"
+  "CMakeFiles/maxmin_gmp.dir/controller.cpp.o.d"
+  "CMakeFiles/maxmin_gmp.dir/dissemination.cpp.o"
+  "CMakeFiles/maxmin_gmp.dir/dissemination.cpp.o.d"
+  "CMakeFiles/maxmin_gmp.dir/engine.cpp.o"
+  "CMakeFiles/maxmin_gmp.dir/engine.cpp.o.d"
+  "CMakeFiles/maxmin_gmp.dir/neighborhood.cpp.o"
+  "CMakeFiles/maxmin_gmp.dir/neighborhood.cpp.o.d"
+  "libmaxmin_gmp.a"
+  "libmaxmin_gmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_gmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

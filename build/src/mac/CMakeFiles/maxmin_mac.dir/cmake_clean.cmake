@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_mac.dir/dcf.cpp.o"
+  "CMakeFiles/maxmin_mac.dir/dcf.cpp.o.d"
+  "CMakeFiles/maxmin_mac.dir/params.cpp.o"
+  "CMakeFiles/maxmin_mac.dir/params.cpp.o.d"
+  "libmaxmin_mac.a"
+  "libmaxmin_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

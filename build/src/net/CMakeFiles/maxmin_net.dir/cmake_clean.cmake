@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_net.dir/network.cpp.o"
+  "CMakeFiles/maxmin_net.dir/network.cpp.o.d"
+  "CMakeFiles/maxmin_net.dir/node_stack.cpp.o"
+  "CMakeFiles/maxmin_net.dir/node_stack.cpp.o.d"
+  "CMakeFiles/maxmin_net.dir/packet_queue.cpp.o"
+  "CMakeFiles/maxmin_net.dir/packet_queue.cpp.o.d"
+  "libmaxmin_net.a"
+  "libmaxmin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/frame_trace.cpp" "src/phys/CMakeFiles/maxmin_phys.dir/frame_trace.cpp.o" "gcc" "src/phys/CMakeFiles/maxmin_phys.dir/frame_trace.cpp.o.d"
+  "/root/repo/src/phys/medium.cpp" "src/phys/CMakeFiles/maxmin_phys.dir/medium.cpp.o" "gcc" "src/phys/CMakeFiles/maxmin_phys.dir/medium.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/maxmin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/maxmin_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxmin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_phys.dir/frame_trace.cpp.o"
+  "CMakeFiles/maxmin_phys.dir/frame_trace.cpp.o.d"
+  "CMakeFiles/maxmin_phys.dir/medium.cpp.o"
+  "CMakeFiles/maxmin_phys.dir/medium.cpp.o.d"
+  "libmaxmin_phys.a"
+  "libmaxmin_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_scenarios.dir/scenarios.cpp.o"
+  "CMakeFiles/maxmin_scenarios.dir/scenarios.cpp.o.d"
+  "libmaxmin_scenarios.a"
+  "libmaxmin_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_sim.dir/simulator.cpp.o"
+  "CMakeFiles/maxmin_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/maxmin_sim.dir/timer.cpp.o"
+  "CMakeFiles/maxmin_sim.dir/timer.cpp.o.d"
+  "libmaxmin_sim.a"
+  "libmaxmin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

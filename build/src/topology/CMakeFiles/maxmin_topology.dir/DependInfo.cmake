@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cliques.cpp" "src/topology/CMakeFiles/maxmin_topology.dir/cliques.cpp.o" "gcc" "src/topology/CMakeFiles/maxmin_topology.dir/cliques.cpp.o.d"
+  "/root/repo/src/topology/conflict_graph.cpp" "src/topology/CMakeFiles/maxmin_topology.dir/conflict_graph.cpp.o" "gcc" "src/topology/CMakeFiles/maxmin_topology.dir/conflict_graph.cpp.o.d"
+  "/root/repo/src/topology/dominating_set.cpp" "src/topology/CMakeFiles/maxmin_topology.dir/dominating_set.cpp.o" "gcc" "src/topology/CMakeFiles/maxmin_topology.dir/dominating_set.cpp.o.d"
+  "/root/repo/src/topology/routing.cpp" "src/topology/CMakeFiles/maxmin_topology.dir/routing.cpp.o" "gcc" "src/topology/CMakeFiles/maxmin_topology.dir/routing.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/maxmin_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/maxmin_topology.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maxmin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

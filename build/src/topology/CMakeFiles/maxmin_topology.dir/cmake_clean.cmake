@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_topology.dir/cliques.cpp.o"
+  "CMakeFiles/maxmin_topology.dir/cliques.cpp.o.d"
+  "CMakeFiles/maxmin_topology.dir/conflict_graph.cpp.o"
+  "CMakeFiles/maxmin_topology.dir/conflict_graph.cpp.o.d"
+  "CMakeFiles/maxmin_topology.dir/dominating_set.cpp.o"
+  "CMakeFiles/maxmin_topology.dir/dominating_set.cpp.o.d"
+  "CMakeFiles/maxmin_topology.dir/routing.cpp.o"
+  "CMakeFiles/maxmin_topology.dir/routing.cpp.o.d"
+  "CMakeFiles/maxmin_topology.dir/topology.cpp.o"
+  "CMakeFiles/maxmin_topology.dir/topology.cpp.o.d"
+  "libmaxmin_topology.a"
+  "libmaxmin_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_util.dir/log.cpp.o"
+  "CMakeFiles/maxmin_util.dir/log.cpp.o.d"
+  "CMakeFiles/maxmin_util.dir/stats.cpp.o"
+  "CMakeFiles/maxmin_util.dir/stats.cpp.o.d"
+  "CMakeFiles/maxmin_util.dir/table.cpp.o"
+  "CMakeFiles/maxmin_util.dir/table.cpp.o.d"
+  "libmaxmin_util.a"
+  "libmaxmin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

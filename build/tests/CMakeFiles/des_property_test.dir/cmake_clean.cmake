@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_property_test.dir/des_property_test.cpp.o"
+  "CMakeFiles/des_property_test.dir/des_property_test.cpp.o.d"
+  "des_property_test"
+  "des_property_test.pdb"
+  "des_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

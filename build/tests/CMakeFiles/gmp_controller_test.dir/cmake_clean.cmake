@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmp_controller_test.dir/gmp_controller_test.cpp.o"
+  "CMakeFiles/gmp_controller_test.dir/gmp_controller_test.cpp.o.d"
+  "gmp_controller_test"
+  "gmp_controller_test.pdb"
+  "gmp_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmp_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

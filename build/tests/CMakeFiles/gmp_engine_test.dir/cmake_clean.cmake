@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmp_engine_test.dir/gmp_engine_test.cpp.o"
+  "CMakeFiles/gmp_engine_test.dir/gmp_engine_test.cpp.o.d"
+  "gmp_engine_test"
+  "gmp_engine_test.pdb"
+  "gmp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

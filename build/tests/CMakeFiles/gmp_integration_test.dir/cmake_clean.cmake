@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmp_integration_test.dir/gmp_integration_test.cpp.o"
+  "CMakeFiles/gmp_integration_test.dir/gmp_integration_test.cpp.o.d"
+  "gmp_integration_test"
+  "gmp_integration_test.pdb"
+  "gmp_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmp_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

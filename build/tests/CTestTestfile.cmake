@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/phys_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/gmp_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/fluid_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/gmp_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/control_plane_test[1]_include.cmake")
+include("/root/repo/build/tests/des_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gmp_controller_test[1]_include.cmake")

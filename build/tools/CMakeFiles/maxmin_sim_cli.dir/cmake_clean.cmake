@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_sim_cli.dir/maxmin_sim.cpp.o"
+  "CMakeFiles/maxmin_sim_cli.dir/maxmin_sim.cpp.o.d"
+  "maxmin-sim"
+  "maxmin-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
