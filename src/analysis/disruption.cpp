@@ -1,0 +1,55 @@
+#include "analysis/disruption.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace maxmin::analysis {
+
+DisruptionReport analyzeDisruption(const RateHistory& history,
+                                   const std::map<net::FlowId, int>& hops,
+                                   const DisruptionConfig& config) {
+  MAXMIN_CHECK(!history.empty());
+  MAXMIN_CHECK(config.faultPeriod >= 0 &&
+               config.faultPeriod < static_cast<int>(history.size()));
+  MAXMIN_CHECK(config.recoveryPeriod < static_cast<int>(history.size()));
+  MAXMIN_CHECK(config.baselineWindow > 0);
+
+  DisruptionReport report;
+  report.ieqByPeriod.reserve(history.size());
+  for (const auto& rates : history) {
+    report.ieqByPeriod.push_back(summarize(rates, hops).ieq);
+  }
+
+  const int baselineFrom =
+      std::max(0, config.faultPeriod - config.baselineWindow);
+  double sum = 0.0;
+  int count = 0;
+  for (int p = baselineFrom; p < config.faultPeriod; ++p) {
+    sum += report.ieqByPeriod[static_cast<std::size_t>(p)];
+    ++count;
+  }
+  report.baselineIeq = count > 0 ? sum / count : 0.0;
+
+  for (int p = config.faultPeriod; p < static_cast<int>(history.size()); ++p) {
+    const double ieq = report.ieqByPeriod[static_cast<std::size_t>(p)];
+    if (ieq < report.dipIeq) {
+      report.dipIeq = ieq;
+      report.dipPeriod = p;
+    }
+  }
+
+  const int searchFrom =
+      config.recoveryPeriod >= 0 ? config.recoveryPeriod : config.faultPeriod;
+  for (int p = searchFrom; p < static_cast<int>(history.size()); ++p) {
+    if (report.ieqByPeriod[static_cast<std::size_t>(p)] >=
+        config.reconvergeIeq) {
+      report.reconvergedAtPeriod = p;
+      report.periodsToReconverge = p - searchFrom;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace maxmin::analysis

@@ -1,0 +1,59 @@
+// Disruption metrics for fault-injection runs: how deep fairness dips
+// when a fault hits and how many adjustment periods GMP needs to climb
+// back after recovery.
+//
+// The input is the same per-period rate history convergence.hpp works
+// on; the fault/recovery instants are given as period indices (the
+// caller knows when its FaultScript fired relative to the controller's
+// period boundaries).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/convergence.hpp"
+#include "analysis/metrics.hpp"
+
+namespace maxmin::analysis {
+
+struct DisruptionConfig {
+  /// Period index (into the history) at which the fault took effect.
+  int faultPeriod = 0;
+  /// Period index of the recovery; -1 for a permanent fault, in which
+  /// case re-convergence is measured from the fault itself.
+  int recoveryPeriod = -1;
+  /// Equality-index level that counts as re-converged (the acceptance
+  /// bar for the robustness experiments is 0.9).
+  double reconvergeIeq = 0.9;
+  /// Number of pre-fault periods whose mean I_eq forms the baseline.
+  int baselineWindow = 3;
+};
+
+struct DisruptionReport {
+  /// Mean I_eq over the baselineWindow periods before the fault.
+  double baselineIeq = 0.0;
+  /// Lowest I_eq at or after the fault, and the period it occurred in.
+  double dipIeq = 1.0;
+  int dipPeriod = -1;
+  /// How far fairness fell: baselineIeq - dipIeq (>= 0 in practice).
+  double dipDepth() const { return baselineIeq - dipIeq; }
+  /// First period at/after recovery (or the fault, when permanent) with
+  /// I_eq >= reconvergeIeq; -1 if the run never got back.
+  int reconvergedAtPeriod = -1;
+  /// reconvergedAtPeriod relative to the recovery period; -1 if never.
+  int periodsToReconverge = -1;
+  /// Packets lost to the disruption (crash flushes + dead-next-hop
+  /// drops + queue drops); filled by the experiment runner, not from
+  /// the rate history.
+  std::int64_t packetsLost = 0;
+  /// I_eq per period over the whole history (diagnostic trace).
+  std::vector<double> ieqByPeriod;
+};
+
+/// `hops[id]` must exist for every flow in the history.
+DisruptionReport analyzeDisruption(const RateHistory& history,
+                                   const std::map<net::FlowId, int>& hops,
+                                   const DisruptionConfig& config);
+
+}  // namespace maxmin::analysis

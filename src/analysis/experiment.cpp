@@ -38,6 +38,7 @@ RunResult runScenario(const scenarios::Scenario& scenario,
   }
 
   net::Network net{scenario.topology, nc, scenario.flows};
+  if (!config.faults.empty()) net.enableFaults(config.faults);
 
   std::optional<gmp::Controller> controller;
   if (config.protocol == Protocol::kGmp) {
@@ -80,8 +81,17 @@ RunResult runScenario(const scenarios::Scenario& scenario,
   result.summary = summarize(rates, hops);
   result.normalizedSummary = summarizeNormalized(rates, weights, hops);
   result.queueDrops = net.totalQueueDrops();
+  result.crashDrops = net.totalCrashDrops();
+  result.deadNeighborDrops = net.totalDeadNeighborDrops();
+  result.framesSuppressed = net.medium().framesSuppressed();
+  if (const phys::ChannelImpairments* imp = net.impairments()) {
+    result.framesImpaired = imp->framesDropped();
+  }
   if (controller) {
     result.violationHistory = controller->violationHistory();
+    result.rateHistory = controller->rateHistory();
+    result.staleMeasurementsUsed = controller->staleMeasurementsUsed();
+    result.limitsRestored = controller->limitsRestored();
   }
   return result;
 }

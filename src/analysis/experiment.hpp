@@ -8,10 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/convergence.hpp"
 #include "analysis/metrics.hpp"
 #include "gmp/types.hpp"
 #include "net/config.hpp"
 #include "scenarios/scenarios.hpp"
+#include "sim/fault_plane.hpp"
 
 namespace maxmin::analysis {
 
@@ -32,7 +34,11 @@ struct RunConfig {
   std::uint64_t seed = 1;
   gmp::GmpParams gmpParams;
   /// Applied before the protocol-specific queueing configuration.
+  /// Channel impairments (PER / Gilbert-Elliott) ride in
+  /// netBase.impairments; node/link faults in `faults` below.
   net::NetworkConfig netBase;
+  /// Fault schedule injected before the run starts; empty = no faults.
+  sim::FaultScript faults;
 };
 
 struct FlowOutcome {
@@ -51,6 +57,17 @@ struct RunResult {
   std::int64_t queueDrops = 0;
   /// GMP only: total condition violations per period.
   std::vector<int> violationHistory;
+  /// GMP only: per-period measured flow rates (for convergence and
+  /// disruption analysis).
+  RateHistory rateHistory;
+
+  // --- fault-run accounting (all zero in fault-free runs) ------------------
+  std::int64_t crashDrops = 0;         ///< queue contents lost at crashes
+  std::int64_t deadNeighborDrops = 0;  ///< dropped after next-hop declared dead
+  std::int64_t framesImpaired = 0;     ///< lost to PER / Gilbert-Elliott
+  std::int64_t framesSuppressed = 0;   ///< silenced by down nodes / cut links
+  std::int64_t staleMeasurementsUsed = 0;  ///< controller TTL substitutions
+  std::int64_t limitsRestored = 0;         ///< post-recovery limit restores
 
   double rateOf(net::FlowId id) const;
 };

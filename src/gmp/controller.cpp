@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -13,7 +14,8 @@ Controller::Controller(net::Network& net, GmpParams params)
       contention_{ContentionStructure::build(net.topology(),
                                              net.activeLinks())},
       engine_{contention_, params},
-      timer_{net.simulator()} {
+      timer_{net.simulator()},
+      assembleTimer_{net.simulator()} {
   MAXMIN_CHECK_MSG(net.config().discipline ==
                        net::QueueDiscipline::kPerDestination,
                    "GMP requires per-destination queueing (paper §5.1)");
@@ -37,16 +39,54 @@ void Controller::start() {
 }
 
 Snapshot Controller::takeSnapshot() {
+  std::map<topo::NodeId, net::NodePeriodMeasurement> meas;
+  for (topo::NodeId n = 0; n < net_.topology().numNodes(); ++n) {
+    meas.emplace(n, net_.closeMeasurementWindow(n));
+  }
+  return assembleSnapshot(meas);
+}
+
+Snapshot Controller::assembleSnapshot(
+    std::map<topo::NodeId, net::NodePeriodMeasurement>& meas) {
   Snapshot snap;
 
-  std::map<topo::NodeId, net::NodePeriodMeasurement> meas;
-  double periodSeconds = 0.0;
-  for (topo::NodeId n = 0; n < net_.topology().numNodes(); ++n) {
-    auto m = net_.closeMeasurementWindow(n);
-    periodSeconds = m.periodSeconds;
-    meas.emplace(n, std::move(m));
+  // Staleness pass: a node that is down at the period boundary produced
+  // no real measurements this period. Substitute its last good
+  // measurement while that is within the TTL; past the TTL declare the
+  // node stale so the engine stops acting on anything derived from it.
+  if (const sim::FaultPlane* faults = net_.faultPlane()) {
+    for (topo::NodeId n = 0; n < net_.topology().numNodes(); ++n) {
+      if (faults->nodeUp(n)) {
+        lastGoodMeas_[n] = meas.at(n);
+        lastGoodPeriod_[n] = periods_;
+        continue;
+      }
+      const auto it = lastGoodPeriod_.find(n);
+      if (it != lastGoodPeriod_.end() &&
+          periods_ - it->second <= params_.measurementTtlPeriods) {
+        meas.at(n) = lastGoodMeas_.at(n);
+        ++staleMeasurementsUsed_;
+      } else {
+        snap.staleNodes.insert(n);
+      }
+    }
+    for (const net::FlowSpec& f : net_.flows()) {
+      const auto path = net_.pathOf(f.id);
+      if (std::any_of(path.begin(), path.end(), [&](topo::NodeId n) {
+            return snap.staleNodes.contains(n);
+          })) {
+        snap.impairedFlows.insert(f.id);
+      }
+    }
   }
-  MAXMIN_CHECK(periodSeconds > 0.0);
+
+  // Each node closes its own window, so under clock skew (or after a
+  // mid-period recovery) period lengths differ per node.
+  const auto periodSecondsOf = [&](topo::NodeId n) {
+    const double s = meas.at(n).periodSeconds;
+    MAXMIN_CHECK_MSG(s > 0.0, "empty measurement window at node " << n);
+    return s;
+  };
 
   // Flow states, measured at the sources.
   for (const net::FlowSpec& f : net_.flows()) {
@@ -102,7 +142,7 @@ Snapshot Controller::takeSnapshot() {
     const auto& down = meas.at(key.from).downstream;
     if (const auto it = down.find(key.dest);
         it != down.end() && !it->second.flowMu.empty()) {
-      vl.ratePps = it->second.packets / periodSeconds;
+      vl.ratePps = it->second.packets / periodSecondsOf(key.from);
       for (const auto& [id, staleMu] : it->second.flowMu) {
         mus[id] = currentMu(id);
       }
@@ -125,7 +165,7 @@ Snapshot Controller::takeSnapshot() {
     WLinkState wl;
     wl.link = l;
     wl.occupancy =
-        net_.takeLinkOccupancy(l.from, l.to).asSeconds() / periodSeconds;
+        net_.takeLinkOccupancy(l.from, l.to).asSeconds() / periodSecondsOf(l.from);
     for (const VLinkState& vl : snap.vlinks) {
       if (vl.key.wireless() == l) wl.normRate = std::max(wl.normRate, vl.normRate);
     }
@@ -136,8 +176,63 @@ Snapshot Controller::takeSnapshot() {
 }
 
 void Controller::tick() {
-  lastSnapshot_ = takeSnapshot();
-  lastReport_ = engine_.decide(lastSnapshot_);
+  if (const sim::FaultPlane* faults = net_.faultPlane();
+      faults != nullptr && faults->maxClockSkew() > Duration::zero()) {
+    beginSkewedClose(*faults);
+    return;
+  }
+  finishPeriod(takeSnapshot());
+}
+
+void Controller::beginSkewedClose(const sim::FaultPlane& faults) {
+  // Nodes do not share a clock: each closes its window at the nominal
+  // boundary plus its own skew, and the adjustment decision waits until
+  // the last close. The skews must fit well inside one period.
+  const Duration maxSkew = faults.maxClockSkew();
+  MAXMIN_CHECK_MSG(maxSkew + maxSkew < params_.period,
+                   "clock skew " << maxSkew << " too large for period "
+                                 << params_.period);
+  ++skewedPeriods_;
+  pendingMeas_.clear();
+
+  const int n = net_.topology().numNodes();
+  while (static_cast<int>(skewTimers_.size()) < n) {
+    skewTimers_.push_back(std::make_unique<sim::Timer>(net_.simulator()));
+  }
+  for (topo::NodeId node = 0; node < n; ++node) {
+    const Duration skew = faults.clockSkew(node);
+    if (skew <= Duration::zero()) {
+      pendingMeas_.emplace(node, net_.closeMeasurementWindow(node));
+    } else {
+      skewTimers_[static_cast<std::size_t>(node)]->arm(skew, [this, node] {
+        pendingMeas_.emplace(node, net_.closeMeasurementWindow(node));
+      });
+    }
+  }
+  assembleTimer_.arm(maxSkew + Duration::millis(1), [this] {
+    auto meas = std::move(pendingMeas_);
+    pendingMeas_.clear();
+    finishPeriod(assembleSnapshot(meas));
+  });
+}
+
+void Controller::finishPeriod(Snapshot snapshot) {
+  lastSnapshot_ = std::move(snapshot);
+  const Snapshot& snap = lastSnapshot_;
+  lastReport_ = engine_.decide(snap);
+
+  // Remember each flow's limit as it was just before its path went
+  // stale, so recovery can restore the old operating point directly
+  // instead of re-climbing from the decayed floor at ~10 pps/period.
+  for (net::FlowId id : snap.impairedFlows) {
+    if (impairedPrev_.contains(id)) continue;
+    for (const FlowState& fs : snap.flows) {
+      if (fs.id == id) {
+        preImpairmentLimit_[id] = fs.limitPps;
+        break;
+      }
+    }
+  }
 
   for (const Command& cmd : lastReport_.commands) {
     switch (cmd.kind) {
@@ -150,16 +245,29 @@ void Controller::tick() {
     }
   }
 
+  // Flows whose paths recovered this period: put back the pre-fault
+  // limit (engine commands for them, if any, acted on ghost rates).
+  for (const net::FlowId id : impairedPrev_) {
+    if (snap.impairedFlows.contains(id)) continue;
+    if (const auto it = preImpairmentLimit_.find(id);
+        it != preImpairmentLimit_.end()) {
+      net_.setRateLimit(id, it->second);
+      preImpairmentLimit_.erase(it);
+      ++limitsRestored_;
+    }
+  }
+  impairedPrev_ = snap.impairedFlows;
+
   // Re-stamp each source's normalized rate for the coming period's
   // piggybacking (paper §6.2, "Normalized Rate").
-  for (const FlowState& fs : lastSnapshot_.flows) {
+  for (const FlowState& fs : snap.flows) {
     net_.setSourceMu(fs.id, fs.mu());
   }
 
   violationHistory_.push_back(lastReport_.sourceBufferViolations +
                               lastReport_.bandwidthViolations);
   std::map<net::FlowId, double> rates;
-  for (const FlowState& fs : lastSnapshot_.flows) rates[fs.id] = fs.ratePps;
+  for (const FlowState& fs : snap.flows) rates[fs.id] = fs.ratePps;
   rateHistory_.push_back(std::move(rates));
   ++periods_;
 }

@@ -14,10 +14,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "gmp/engine.hpp"
 #include "net/network.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/timer.hpp"
 
 namespace maxmin::gmp {
@@ -28,7 +32,11 @@ class Controller {
 
   /// Begin the period loop (first adjustment after one full period).
   void start();
-  void stop() { timer_.stop(); }
+  void stop() {
+    timer_.stop();
+    assembleTimer_.cancel();
+    for (auto& t : skewTimers_) t->cancel();
+  }
 
   int periodsRun() const { return periods_; }
   const DecisionReport& lastReport() const { return lastReport_; }
@@ -51,14 +59,35 @@ class Controller {
   /// adjusting anything (also used by tests).
   Snapshot takeSnapshot();
 
+  // --- robustness diagnostics (fault runs; all zero otherwise) -------------
+  /// Periods in which a down node's cached measurement stood in for a
+  /// missing one (within the staleness TTL).
+  std::int64_t staleMeasurementsUsed() const { return staleMeasurementsUsed_; }
+  /// Rate limits restored to their pre-fault value after a path recovered.
+  std::int64_t limitsRestored() const { return limitsRestored_; }
+  /// Periods whose measurement closes were staggered by clock skew.
+  std::int64_t skewedPeriods() const { return skewedPeriods_; }
+
  private:
   void tick();
+  /// Stagger each node's window close by its clock skew, then assemble.
+  void beginSkewedClose(const sim::FaultPlane& faults);
+  /// Build the Snapshot from per-node measurements (each with its own
+  /// period length), substituting cached values for down nodes and
+  /// marking expired ones stale.
+  Snapshot assembleSnapshot(
+      std::map<topo::NodeId, net::NodePeriodMeasurement>& meas);
+  /// Everything tick() does after the snapshot exists: decide, apply,
+  /// restore recovered flows, record histories.
+  void finishPeriod(Snapshot snapshot);
 
   net::Network& net_;
   GmpParams params_;
   ContentionStructure contention_;
   Engine engine_;
   sim::PeriodicTimer timer_;
+  sim::Timer assembleTimer_;
+  std::vector<std::unique_ptr<sim::Timer>> skewTimers_;
 
   /// All virtual links any flow traverses, with the flows on each.
   std::map<VirtualLinkKey, std::vector<net::FlowId>> flowsOnVlink_;
@@ -70,6 +99,21 @@ class Controller {
   std::vector<int> violationHistory_;
   std::vector<std::map<net::FlowId, double>> rateHistory_;
   int periods_ = 0;
+
+  // --- graceful-degradation state (untouched in fault-free runs) -----------
+  /// Measurements collected so far in a skew-staggered period.
+  std::map<topo::NodeId, net::NodePeriodMeasurement> pendingMeas_;
+  /// Last measurement taken while the node was up, and the period index
+  /// it was taken in (for the staleness TTL).
+  std::map<topo::NodeId, net::NodePeriodMeasurement> lastGoodMeas_;
+  std::map<topo::NodeId, int> lastGoodPeriod_;
+  /// Flows impaired in the previous period, and the limit each carried
+  /// just before its path went stale (nullopt = was unlimited).
+  std::set<net::FlowId> impairedPrev_;
+  std::map<net::FlowId, std::optional<double>> preImpairmentLimit_;
+  std::int64_t staleMeasurementsUsed_ = 0;
+  std::int64_t limitsRestored_ = 0;
+  std::int64_t skewedPeriods_ = 0;
 };
 
 }  // namespace maxmin::gmp

@@ -14,6 +14,14 @@ DataSize LinkStateDissemination::messageSize(std::size_t states) {
   return DataSize::bytes(8 + 12 * static_cast<std::int64_t>(states));
 }
 
+bool LinkStateDissemination::seqNewer(std::int64_t a, std::int64_t b) {
+  // RFC 1982 serial-number arithmetic: a is newer than b iff it lies in
+  // the half of the sequence space "ahead" of b. Survives wraparound:
+  // seq 3 is newer than seq 65534.
+  const std::int64_t d = ((a - b) % kSeqModulus + kSeqModulus) % kSeqModulus;
+  return d != 0 && d < kSeqModulus / 2;
+}
+
 LinkStateDissemination::LinkStateDissemination(net::Network& net) : net_{net} {
   const int n = net.topology().numNodes();
   relays_.reserve(static_cast<std::size_t>(n));
@@ -22,6 +30,7 @@ LinkStateDissemination::LinkStateDissemination(net::Network& net) : net_{net} {
   }
   stores_.assign(static_cast<std::size_t>(n), {});
   seen_.assign(static_cast<std::size_t>(n), {});
+  latest_.assign(static_cast<std::size_t>(n), {});
   for (topo::NodeId id = 0; id < n; ++id) {
     net_.stack(id).setControlHandler(
         [this, id](const phys::Frame& frame) { onControl(id, frame); });
@@ -32,13 +41,16 @@ void LinkStateDissemination::announce(topo::NodeId origin,
                                       std::vector<LinkStateAd> states) {
   auto msg = std::make_shared<LinkStateMessage>();
   msg->origin = origin;
-  msg->seq = nextSeq_[origin]++;
+  msg->seq = nextSeq_[origin] % kSeqModulus;
+  nextSeq_[origin] = (msg->seq + 1) % kSeqModulus;
   msg->states = std::move(states);
 
   // The origin knows its own announcement.
   auto& store = stores_.at(static_cast<std::size_t>(origin));
   for (const LinkStateAd& ad : msg->states) store[ad.link] = ad;
   seen_.at(static_cast<std::size_t>(origin)).insert({origin, msg->seq});
+  latest_.at(static_cast<std::size_t>(origin))[origin] =
+      OriginFreshness{msg->seq, net_.now()};
 
   const DataSize size = messageSize(msg->states.size());
   net_.macOf(origin).enqueueBroadcast(std::move(msg), size);
@@ -52,7 +64,28 @@ void LinkStateDissemination::onControl(topo::NodeId receiver,
   if (msg == nullptr) return;  // someone else's control traffic
 
   auto& seen = seen_.at(static_cast<std::size_t>(receiver));
-  if (!seen.insert({msg->origin, msg->seq}).second) return;  // duplicate
+  if (!seen.insert({msg->origin, msg->seq}).second) {
+    ++duplicatesDropped_;  // exact duplicate (relay echo)
+    return;
+  }
+
+  // Freshness: only serially-newer announcements update the store and
+  // get relayed; a reordered older one must not overwrite newer state.
+  // The high water mark itself expires after freshnessTtl_, so an origin
+  // that rebooted and restarted at seq 0 is accepted once its old
+  // (higher) sequence numbers have gone quiet.
+  auto& fresh = latest_.at(static_cast<std::size_t>(receiver));
+  const TimePoint now = net_.now();
+  if (const auto it = fresh.find(msg->origin); it != fresh.end()) {
+    if (!seqNewer(msg->seq, it->second.lastSeq)) {
+      if (now - it->second.heardAt <= freshnessTtl_) {
+        ++staleDropped_;  // reordered or stale announcement
+        return;
+      }
+      ++rebootAccepts_;
+    }
+  }
+  fresh[msg->origin] = OriginFreshness{msg->seq, now};
 
   auto& store = stores_.at(static_cast<std::size_t>(receiver));
   for (const LinkStateAd& ad : msg->states) store[ad.link] = ad;

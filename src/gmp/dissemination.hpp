@@ -43,6 +43,15 @@ struct LinkStateMessage final : phys::ControlMessage {
 
 class LinkStateDissemination {
  public:
+  /// Sequence numbers live in a small wrapping space (a real header
+  /// would carry 16 bits); freshness uses RFC 1982 serial-number
+  /// comparison so the protocol survives wraparound.
+  static constexpr std::int64_t kSeqModulus = std::int64_t{1} << 16;
+
+  /// True iff `a` is a newer sequence number than `b` under serial
+  /// arithmetic modulo kSeqModulus.
+  static bool seqNewer(std::int64_t a, std::int64_t b);
+
   /// Attaches a control handler to every node's stack. The service must
   /// outlive the network's control traffic.
   explicit LinkStateDissemination(net::Network& net);
@@ -67,9 +76,33 @@ class LinkStateDissemination {
 
   std::int64_t messagesSent() const { return messagesSent_; }
   std::int64_t rebroadcasts() const { return rebroadcasts_; }
+  std::int64_t duplicatesDropped() const { return duplicatesDropped_; }
+  std::int64_t staleDropped() const { return staleDropped_; }
+  std::int64_t rebootAccepts() const { return rebootAccepts_; }
+
+  /// How long a receiver trusts its recorded per-origin sequence high
+  /// water mark. After this long without hearing the origin, any
+  /// sequence number is accepted again — the path by which an origin
+  /// that rebooted (and restarted at seq 0) re-enters the network
+  /// despite receivers holding a higher stale seq.
+  void setFreshnessTtl(Duration ttl) { freshnessTtl_ = ttl; }
+  Duration freshnessTtl() const { return freshnessTtl_; }
+
+  /// Test hooks: place an origin's counter near wraparound, or reset it
+  /// to simulate a reboot that lost the counter.
+  void setNextSeqForTest(topo::NodeId origin, std::int64_t seq) {
+    nextSeq_[origin] = seq % kSeqModulus;
+  }
 
  private:
   void onControl(topo::NodeId receiver, const phys::Frame& frame);
+
+  /// Per-origin freshness at one receiver: the newest sequence accepted
+  /// and when it was heard.
+  struct OriginFreshness {
+    std::int64_t lastSeq = 0;
+    TimePoint heardAt;
+  };
 
   net::Network& net_;
   /// relays_[transmitter]: the transmitter's dominating set.
@@ -78,9 +111,15 @@ class LinkStateDissemination {
   std::vector<std::map<topo::Link, LinkStateAd>> stores_;
   /// seen_[node]: (origin, seq) pairs already processed (dedup).
   std::vector<std::set<std::pair<topo::NodeId, std::int64_t>>> seen_;
+  /// latest_[node]: per-origin serial-number high water mark.
+  std::vector<std::map<topo::NodeId, OriginFreshness>> latest_;
   std::map<topo::NodeId, std::int64_t> nextSeq_;
+  Duration freshnessTtl_ = Duration::seconds(12.0);  ///< 3 GMP periods
   std::int64_t messagesSent_ = 0;
   std::int64_t rebroadcasts_ = 0;
+  std::int64_t duplicatesDropped_ = 0;
+  std::int64_t staleDropped_ = 0;
+  std::int64_t rebootAccepts_ = 0;
 };
 
 }  // namespace maxmin::gmp

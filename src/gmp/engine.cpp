@@ -60,10 +60,70 @@ double Engine::adjustBase(const FlowState& f) const {
 DecisionReport Engine::decide(const Snapshot& snapshot) const {
   DecisionReport report;
   RequestMap requests;
+  if (snapshot.degraded()) {
+    // Graceful degradation: run the unmodified condition checks on the
+    // healthy remainder of the network, and only decay the flows whose
+    // measurements are ghosts.
+    const Snapshot filtered = filterDegraded(snapshot);
+    checkSourceAndBufferConditions(filtered, requests, report);
+    checkBandwidthCondition(filtered, requests, report);
+    resolveRequests(filtered, requests, report);
+    decayImpairedFlows(snapshot, report);
+    return report;
+  }
   checkSourceAndBufferConditions(snapshot, requests, report);
   checkBandwidthCondition(snapshot, requests, report);
   resolveRequests(snapshot, requests, report);
   return report;
+}
+
+Snapshot Engine::filterDegraded(const Snapshot& s) const {
+  Snapshot out;
+  const auto staleNode = [&](topo::NodeId n) { return s.staleNodes.contains(n); };
+
+  for (const FlowState& f : s.flows) {
+    if (!s.impairedFlows.contains(f.id)) out.flows.push_back(f);
+  }
+  for (const VLinkState& vl : s.vlinks) {
+    if (staleNode(vl.key.from) || staleNode(vl.key.to) ||
+        staleNode(vl.key.dest)) {
+      continue;
+    }
+    VLinkState copy = vl;
+    std::erase_if(copy.primaryFlows, [&](net::FlowId id) {
+      return s.impairedFlows.contains(id);
+    });
+    out.vlinks.push_back(std::move(copy));
+  }
+  for (const WLinkState& wl : s.wlinks) {
+    if (!staleNode(wl.link.from) && !staleNode(wl.link.to)) {
+      out.wlinks.push_back(wl);
+    }
+  }
+  for (const auto& [nodeDest, sat] : s.saturated) {
+    if (!staleNode(nodeDest.first) && !staleNode(nodeDest.second)) {
+      out.saturated.emplace(nodeDest, sat);
+    }
+  }
+  return out;
+}
+
+void Engine::decayImpairedFlows(const Snapshot& s,
+                                DecisionReport& report) const {
+  // A flow crossing a stale node may be pushing packets into a black
+  // hole at its old equilibrium rate. Freezing the limit would hold that
+  // equilibrium on ghost data; removing it would let the source flood.
+  // Multiplicative decay toward the floor frees the bandwidth quickly
+  // while leaving a probe rate alive to notice recovery.
+  for (const FlowState& f : s.flows) {
+    if (!s.impairedFlows.contains(f.id)) continue;
+    const double base =
+        f.limitPps ? *f.limitPps : std::max(f.ratePps, params_.minRatePps);
+    const double target =
+        std::max(params_.minRatePps, base * params_.staleDecayFactor);
+    report.commands.push_back(Command{f.id, Command::Kind::kSetLimit, target});
+    ++report.staleDecays;
+  }
 }
 
 namespace {

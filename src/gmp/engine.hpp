@@ -54,6 +54,12 @@ class Engine {
   void resolveRequests(const Snapshot& s, const RequestMap& requests,
                        DecisionReport& report) const;
 
+  /// Strip everything touched by stale nodes / impaired flows so the
+  /// condition checks never act on ghost measurements; the dropped flows
+  /// are handled by decayImpairedFlows instead.
+  Snapshot filterDegraded(const Snapshot& s) const;
+  void decayImpairedFlows(const Snapshot& s, DecisionReport& report) const;
+
   double adjustBase(const FlowState& f) const;
 
   ContentionStructure contention_;

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -101,6 +102,18 @@ struct Snapshot {
   /// Virtual-node saturation: (node, dest) -> Omega above threshold.
   /// Missing entries mean unsaturated.
   std::map<std::pair<topo::NodeId, topo::NodeId>, bool> saturated;
+
+  /// Nodes whose measurements are missing and whose cached values have
+  /// outlived the staleness TTL (fault runs only). The engine must not
+  /// act on anything derived from them.
+  std::set<topo::NodeId> staleNodes;
+  /// Flows whose path crosses a stale node: their measured rates are
+  /// ghosts, so the engine falls back to conservative rate-limit decay.
+  std::set<net::FlowId> impairedFlows;
+
+  bool degraded() const {
+    return !staleNodes.empty() || !impairedFlows.empty();
+  }
 };
 
 /// Rate-limit change for one flow source.
@@ -121,6 +134,7 @@ struct DecisionReport {
   int increaseRequests = 0;
   int additiveIncreases = 0;
   int limitsRemoved = 0;
+  int staleDecays = 0;  ///< conservative decays of flows on stale paths
 
   bool conditionsSatisfied() const {
     return sourceBufferViolations == 0 && bandwidthViolations == 0;
@@ -143,6 +157,21 @@ struct GmpParams {
   /// and removing a limit that is in fact mediating a congested queue
   /// lets the local source capture it for several periods.
   double removeLimitSlackFactor = 0.5;
+
+  // --- graceful degradation under faults (no effect in fault-free runs) ---
+
+  /// How many periods a node's last good measurement may stand in for a
+  /// missing one before the node is declared stale. One period of grace
+  /// absorbs a lost report; two distinguishes transient control-plane
+  /// loss from a real crash at the paper's 4 s period.
+  int measurementTtlPeriods = 2;
+
+  /// Per-period multiplicative decay applied to the rate limit of a flow
+  /// whose path crosses a stale node (floored at minRatePps). Acting on
+  /// ghost measurements would freeze the old equilibrium in place;
+  /// decaying instead cheaply frees the bandwidth the broken path cannot
+  /// use while staying ready to ramp back after recovery.
+  double staleDecayFactor = 0.5;
 };
 
 }  // namespace maxmin::gmp

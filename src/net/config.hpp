@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "mac/params.hpp"
+#include "phys/impairment.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -45,6 +46,22 @@ struct NetworkConfig {
   mac::MacParams mac;
 
   std::uint64_t seed = 1;
+
+  /// Channel impairments (packet error rate / bursty loss); disabled by
+  /// default. Drawn from a dedicated RNG stream, so enabling them does
+  /// not perturb the MAC or source randomness of a seeded run.
+  phys::ImpairmentConfig impairments;
+
+  /// Dead-neighbor detection: when positive, a next hop whose unicast
+  /// transmissions have failed continuously for this long is declared
+  /// dead; packets routed through it are dropped (and counted) instead
+  /// of being requeued forever, and its cached buffer-state ads are
+  /// flushed so backpressure cannot deadlock behind a crashed node. Any
+  /// successful exchange with the neighbor clears the verdict. Zero
+  /// (default) disables detection — the paper's protocols are lossless
+  /// above the MAC, and routine MAC-level failure bursts must not drop
+  /// packets in fault-free runs.
+  Duration neighborDeadTtl = Duration::zero();
 };
 
 }  // namespace maxmin::net

@@ -24,6 +24,12 @@ Network::Network(topo::Topology topology, NetworkConfig config,
                      "flow " << f.id << " source cannot reach destination");
   }
 
+  if (config_.impairments.enabled()) {
+    impairments_.emplace(config_.impairments,
+                         Rng{config_.seed}.stream("phys-impairment"));
+    medium_.setImpairments(&*impairments_);
+  }
+
   Rng root{config_.seed};
   stacks_.reserve(static_cast<std::size_t>(topo_.numNodes()));
   macs_.reserve(static_cast<std::size_t>(topo_.numNodes()));
@@ -41,6 +47,22 @@ Network::Network(topo::Topology topology, NetworkConfig config,
 }
 
 Network::~Network() = default;
+
+sim::FaultPlane& Network::enableFaults(const sim::FaultScript& script) {
+  MAXMIN_CHECK_MSG(faultPlane_ == nullptr, "fault injection already enabled");
+  faultPlane_ = std::make_unique<sim::FaultPlane>(
+      sim_, topo_.numNodes(), script, Rng{config_.seed}.stream("faults"));
+  faultPlane_->addListener(this);
+  medium_.setFaultPlane(faultPlane_.get());
+  faultPlane_->start();
+  return *faultPlane_;
+}
+
+void Network::onNodeDown(std::int32_t node) {
+  stack(node).setOperational(false);
+}
+
+void Network::onNodeUp(std::int32_t node) { stack(node).setOperational(true); }
 
 topo::NodeId Network::nextHop(topo::NodeId from, topo::NodeId dest) {
   const auto it = routes_.find(dest);
@@ -136,6 +158,18 @@ std::map<FlowId, double> Network::ratesBetween(const DeliverySnapshot& from,
 std::int64_t Network::totalQueueDrops() const {
   std::int64_t total = 0;
   for (const auto& s : stacks_) total += s->dropsTail();
+  return total;
+}
+
+std::int64_t Network::totalDeadNeighborDrops() const {
+  std::int64_t total = 0;
+  for (const auto& s : stacks_) total += s->dropsDeadNextHop();
+  return total;
+}
+
+std::int64_t Network::totalCrashDrops() const {
+  std::int64_t total = 0;
+  for (const auto& s : stacks_) total += s->dropsAtCrash();
   return total;
 }
 

@@ -14,7 +14,9 @@
 #include "net/config.hpp"
 #include "net/flow.hpp"
 #include "net/node_stack.hpp"
+#include "phys/impairment.hpp"
 #include "phys/medium.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/simulator.hpp"
 #include "topology/link.hpp"
 #include "util/stats.hpp"
@@ -23,7 +25,7 @@
 
 namespace maxmin::net {
 
-class Network final : public NetContext {
+class Network final : public NetContext, public sim::FaultListener {
  public:
   Network(topo::Topology topology, NetworkConfig config,
           std::vector<FlowSpec> flows);
@@ -58,6 +60,23 @@ class Network final : public NetContext {
   void run(Duration d) { sim_.runUntil(sim_.now() + d); }
   TimePoint now() const { return sim_.now(); }
 
+  // --- fault injection --------------------------------------------------------
+  /// Enable fault injection from `script`. Call at most once, before
+  /// run(). The network subscribes to crash/recover transitions (to
+  /// flush the crashed stack's volatile state) and gates the medium.
+  /// Stochastic churn draws from the dedicated "faults" RNG stream, so a
+  /// scripted schedule leaves all other randomness untouched.
+  sim::FaultPlane& enableFaults(const sim::FaultScript& script);
+  sim::FaultPlane* faultPlane() { return faultPlane_.get(); }
+  const sim::FaultPlane* faultPlane() const { return faultPlane_.get(); }
+  phys::ChannelImpairments* impairments() {
+    return impairments_ ? &*impairments_ : nullptr;
+  }
+
+  // --- sim::FaultListener -----------------------------------------------------
+  void onNodeDown(std::int32_t node) override;
+  void onNodeUp(std::int32_t node) override;
+
   // --- rate control (the GMP knob) -------------------------------------------
   void setRateLimit(FlowId id, std::optional<double> pps);
   std::optional<double> rateLimit(FlowId id) const;
@@ -83,6 +102,11 @@ class Network final : public NetContext {
   /// drops; zero for the lossless per-destination scheme).
   std::int64_t totalQueueDrops() const;
 
+  /// Packets dropped because a next hop was declared dead (fault runs).
+  std::int64_t totalDeadNeighborDrops() const;
+  /// Packets lost from queues at node crashes (fault runs).
+  std::int64_t totalCrashDrops() const;
+
   // --- measurement plumbing for the GMP driver ---------------------------------
   NodePeriodMeasurement closeMeasurementWindow(topo::NodeId node);
   Duration takeLinkOccupancy(topo::NodeId from, topo::NodeId to);
@@ -93,6 +117,8 @@ class Network final : public NetContext {
   NetworkConfig config_;
   std::vector<FlowSpec> flows_;
   phys::Medium medium_;
+  std::optional<phys::ChannelImpairments> impairments_;
+  std::unique_ptr<sim::FaultPlane> faultPlane_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
   std::vector<std::unique_ptr<mac::Dcf>> macs_;
   std::map<topo::NodeId, topo::RoutingTree> routes_;

@@ -126,6 +126,7 @@ double NodeStack::effectiveRate(const SourceState& s) const {
 }
 
 void NodeStack::scheduleNextGeneration(SourceState& s) {
+  if (!operational_) return;  // crashed: sources restart on recovery
   const double rate = effectiveRate(s);
   MAXMIN_CHECK(rate > 0.0);
   // +/-10% jitter decorrelates sources that share a rate, as real traffic
@@ -212,6 +213,81 @@ std::vector<FlowId> NodeStack::localFlows() const {
 }
 
 // ---------------------------------------------------------------------------
+// Fault handling
+// ---------------------------------------------------------------------------
+
+void NodeStack::setOperational(bool up) {
+  if (operational_ == up) return;
+  operational_ = up;
+  if (!up) {
+    // A crash loses everything held in RAM: queued packets, cached
+    // neighbor state, health verdicts, in-window measurements. The
+    // queues themselves stay registered (their identity is config, not
+    // state) but are emptied, which also releases any backpressure this
+    // node's "full" advertisements were about to justify.
+    for (auto& [key, q] : queues_) {
+      dropsAtCrash_ += static_cast<std::int64_t>(q.size());
+      while (!q.empty()) q.popFront(now());
+    }
+    for (auto& [id, s] : sources_) s.timer->cancel();
+    holdRetryTimer_.cancel();
+    neighborBufferState_.clear();
+    neighborHealth_.clear();
+    downSample_.clear();
+    upSample_.clear();
+    admittedInWindow_.clear();
+  } else {
+    for (auto& [id, s] : sources_) scheduleNextGeneration(s);
+    if (mac_ != nullptr) mac_->notifyTrafficPending();
+  }
+}
+
+bool NodeStack::neighborDead(topo::NodeId nh) const {
+  const auto it = neighborHealth_.find(nh);
+  return it != neighborHealth_.end() && it->second.dead;
+}
+
+void NodeStack::noteNeighborFailure(topo::NodeId nh) {
+  NeighborHealth& h = neighborHealth_[nh];
+  if (!h.failing) {
+    h.failing = true;
+    h.failingSince = now();
+    return;
+  }
+  if (!h.dead && now() - h.failingSince >= ctx_.config().neighborDeadTtl) {
+    h.dead = true;
+    // Stale "buffer full" advertisements from a dead neighbor must not
+    // keep holding backpressure; age them out immediately.
+    for (auto it = neighborBufferState_.begin();
+         it != neighborBufferState_.end();) {
+      it = it->first.first == nh ? neighborBufferState_.erase(it)
+                                 : std::next(it);
+    }
+  }
+}
+
+void NodeStack::noteNeighborAlive(topo::NodeId nh) {
+  const auto it = neighborHealth_.find(nh);
+  if (it == neighborHealth_.end()) return;
+  const bool wasDead = it->second.dead;
+  neighborHealth_.erase(it);
+  // A resurrected next hop unblocks queues that were draining to drops.
+  if (wasDead && mac_ != nullptr) mac_->notifyTrafficPending();
+}
+
+std::int64_t NodeStack::drainDeadFront(QueueKey key, PacketQueue& q) {
+  std::int64_t dropped = 0;
+  while (!q.empty()) {
+    const topo::NodeId dest = destOf(key, q);
+    const topo::NodeId nh = ctx_.nextHop(self_, dest);
+    if (nh == topo::kNoNode || !neighborDead(nh)) break;
+    q.popFront(now());
+    ++dropped;
+  }
+  return dropped;
+}
+
+// ---------------------------------------------------------------------------
 // Backpressure (congestion avoidance of [3])
 // ---------------------------------------------------------------------------
 
@@ -239,7 +315,7 @@ void NodeStack::armHoldRetry(TimePoint earliestExpiry) {
 // ---------------------------------------------------------------------------
 
 std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
-  if (serviceOrder_.empty()) return std::nullopt;
+  if (!operational_ || serviceOrder_.empty()) return std::nullopt;
   const std::size_t n = serviceOrder_.size();
   bool anyHeld = false;
   TimePoint earliestExpiry = TimePoint::max();
@@ -248,6 +324,13 @@ std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
     const QueueKey key = serviceOrder_[idx];
     PacketQueue& q = queues_.at(key);
     if (q.empty()) continue;
+    if (!neighborHealth_.empty()) {
+      // Dead-neighbor liveness: packets routed through a written-off
+      // next hop drain to drops here rather than wedging the queue (and
+      // everything upstream of it) forever.
+      dropsDeadNextHop_ += drainDeadFront(key, q);
+      if (q.empty()) continue;
+    }
     const topo::NodeId dest = destOf(key, q);
     const topo::NodeId nh = ctx_.nextHop(self_, dest);
     MAXMIN_CHECK_MSG(nh != topo::kNoNode,
@@ -275,6 +358,7 @@ std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
 }
 
 void NodeStack::onTxSuccess(const mac::TxRequest& request) {
+  if (!neighborHealth_.empty()) noteNeighborAlive(request.nextHop);
   VirtualLinkSample& s = downSample_[request.packet->dst];
   ++s.packets;
   double& mu = s.flowMu[request.packet->flow];
@@ -283,6 +367,18 @@ void NodeStack::onTxSuccess(const mac::TxRequest& request) {
 }
 
 void NodeStack::onTxFailure(const mac::TxRequest& request) {
+  if (!operational_) return;  // crashed mid-exchange: queues are gone
+  if (ctx_.config().neighborDeadTtl > Duration::zero()) {
+    noteNeighborFailure(request.nextHop);
+    if (neighborDead(request.nextHop)) {
+      // The next hop has been unreachable past the TTL: report a drop
+      // instead of requeueing into a guaranteed retry loop. The MAC is
+      // freed to serve other queues immediately.
+      ++dropsDeadNextHop_;
+      if (mac_ != nullptr) mac_->notifyTrafficPending();
+      return;
+    }
+  }
   // Keep the packet: the paper's protocols are lossless above the MAC.
   // Re-offer it at the head of its queue; the MAC will retry with a fresh
   // contention round.
@@ -339,6 +435,8 @@ void NodeStack::onControlReceived(const phys::Frame& frame) {
 }
 
 void NodeStack::onFrameDecoded(const phys::Frame& frame) {
+  // Decoding anything from a neighbor proves it is alive again.
+  if (!neighborHealth_.empty()) noteNeighborAlive(frame.transmitter);
   if (frame.bufferState.empty()) return;
   bool anyCleared = false;
   for (const phys::BufferStateAd& ad : frame.bufferState) {

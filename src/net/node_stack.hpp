@@ -77,6 +77,24 @@ class NodeStack final : public mac::FrameClient {
   std::int64_t dropsTail() const { return dropsTail_; }
   std::int64_t duplicatesDropped() const { return duplicatesDropped_; }
 
+  // --- fault handling --------------------------------------------------------
+  /// Crash (`false`) or recover (`true`) this node's network layer. A
+  /// crash loses all volatile state: queued packets (counted in
+  /// dropsAtCrash), cached neighbor buffer states, neighbor-health
+  /// verdicts, and the source generators stop. Recovery restarts the
+  /// sources with empty queues. The MAC keeps running — the fault plane
+  /// makes its transmissions silent — so timing invariants hold.
+  void setOperational(bool up);
+  bool operational() const { return operational_; }
+
+  /// True when dead-neighbor detection has currently written off `nh`.
+  bool neighborDead(topo::NodeId nh) const;
+
+  /// Packets dropped because their next hop was declared dead.
+  std::int64_t dropsDeadNextHop() const { return dropsDeadNextHop_; }
+  /// Packets lost from queues when this node crashed.
+  std::int64_t dropsAtCrash() const { return dropsAtCrash_; }
+
   /// Route decoded broadcast control frames to a control-plane module
   /// (e.g. gmp::LinkStateDissemination). At most one handler.
   void setControlHandler(std::function<void(const phys::Frame&)> handler) {
@@ -116,6 +134,13 @@ class NodeStack final : public mac::FrameClient {
   double effectiveRate(const SourceState& s) const;
   void enqueue(PacketPtr p);
 
+  /// Dead-neighbor bookkeeping (active only when neighborDeadTtl > 0).
+  void noteNeighborFailure(topo::NodeId nh);
+  void noteNeighborAlive(topo::NodeId nh);
+  /// Drop every front packet of `q` whose next hop is dead; returns the
+  /// number dropped.
+  std::int64_t drainDeadFront(QueueKey key, PacketQueue& q);
+
   /// True when congestion avoidance currently forbids sending to
   /// `nextHopNode` for `dest`. Sets `expiry` to when the verdict lapses.
   bool heldByBackpressure(topo::NodeId nextHopNode, topo::NodeId dest,
@@ -142,6 +167,21 @@ class NodeStack final : public mac::FrameClient {
   };
   std::map<std::pair<topo::NodeId, topo::NodeId>, CachedBufferState>
       neighborBufferState_;
+
+  /// Consecutive-failure tracking per next hop for dead-neighbor
+  /// detection. `failingSince` is the start of the current unbroken
+  /// failure run; `dead` latches once the run exceeds the TTL.
+  struct NeighborHealth {
+    TimePoint failingSince;
+    bool failing = false;
+    bool dead = false;
+  };
+  std::map<topo::NodeId, NeighborHealth> neighborHealth_;
+
+  bool operational_ = true;
+  std::int64_t dropsDeadNextHop_ = 0;
+  std::int64_t dropsAtCrash_ = 0;
+
   sim::Timer holdRetryTimer_;
   std::function<void(const phys::Frame&)> controlHandler_;
 

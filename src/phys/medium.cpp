@@ -70,6 +70,30 @@ void Medium::startTransmission(const Frame& frame) {
   tx.frame = frame;
   tx.end = sim_.now() + frame.duration;
 
+  // A crashed sender's MAC still walks its transmit state machine (it
+  // cannot know it is dead), but its radio emits nothing: no energy, no
+  // receptions, no interference. The timing of the null transmission is
+  // preserved so the MAC's busy/idle invariants survive recovery.
+  tx.silent = faults_ != nullptr && !faults_->nodeUp(sender);
+  if (tx.silent) {
+    ++framesSuppressed_;
+    std::size_t silentSlot = active_.size();
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].frame.transmitter == topo::kNoNode) {
+        silentSlot = i;
+        break;
+      }
+    }
+    if (silentSlot == active_.size()) {
+      active_.push_back(std::move(tx));
+    } else {
+      active_[silentSlot] = std::move(tx);
+    }
+    sim_.schedule(frame.duration,
+                  [this, silentSlot] { finishTransmission(silentSlot); });
+    return;
+  }
+
   // Pending receptions: every node in decode range. Corrupt on arrival if
   // the receiver already senses other energy or is itself transmitting.
   for (topo::NodeId r : inTxRange_[static_cast<std::size_t>(sender)]) {
@@ -130,6 +154,8 @@ void Medium::finishTransmission(std::size_t slot) {
   MAXMIN_CHECK(sender != topo::kNoNode);
   transmitting_[static_cast<std::size_t>(sender)] = false;
 
+  if (tx.silent) return;  // nothing was radiated
+
   for (topo::NodeId n : inCsRange_[static_cast<std::size_t>(sender)]) {
     lowerEnergy(n);
   }
@@ -137,10 +163,25 @@ void Medium::finishTransmission(std::size_t slot) {
   for (const PendingRx& rx : tx.receptions) {
     auto* radio = radios_[static_cast<std::size_t>(rx.receiver)];
     if (radio == nullptr) continue;
+    // A crashed receiver (or a cut link) hears nothing at all — no
+    // decode, no CRC failure, no EIFS. The receiver's node state was
+    // checked at delivery time, so a crash mid-flight loses the frame.
+    if (faults_ != nullptr && (!faults_->nodeUp(rx.receiver) ||
+                               !faults_->linkUp(sender, rx.receiver))) {
+      ++framesSuppressed_;
+      continue;
+    }
     // Receptions that end while the receiver transmits are lost even if
     // the overlap began after the corruption scan (same-instant starts).
-    const bool corrupt =
+    bool corrupt =
         rx.corrupted || transmitting_[static_cast<std::size_t>(rx.receiver)];
+    // Channel impairment: a frame that survived interference can still
+    // fail its CRC. Decided per (link, frame) so loss is bursty per link.
+    if (!corrupt && impairments_ != nullptr &&
+        impairments_->shouldDrop(sender, rx.receiver, tx.frame.kind)) {
+      ++framesImpaired_;
+      corrupt = true;
+    }
     if (corrupt) {
       ++framesCorrupted_;
       if (observer_ != nullptr) {

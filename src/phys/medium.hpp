@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "phys/frame.hpp"
+#include "phys/impairment.hpp"
 #include "phys/radio.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/simulator.hpp"
 #include "topology/topology.hpp"
 
@@ -55,6 +57,19 @@ class Medium {
   /// the first transmission. The listener must outlive the medium.
   void attachRadio(topo::NodeId id, RadioListener* listener);
 
+  /// Attach a fault plane (nullptr detaches). A down sender's frames
+  /// radiate nothing (a "null transmission" that keeps the MAC's timing
+  /// invariants); a down receiver — or a cut link — silently hears
+  /// nothing. Energy sensing is still delivered to down nodes so their
+  /// idle/busy bookkeeping stays consistent for recovery.
+  void setFaultPlane(const sim::FaultPlane* plane) { faults_ = plane; }
+
+  /// Attach a channel impairment model (nullptr detaches). An impaired
+  /// frame reaches the receiver as a corrupted frame (CRC failure).
+  void setImpairments(ChannelImpairments* impairments) {
+    impairments_ = impairments;
+  }
+
   /// Begin transmitting `frame` from `frame.transmitter` now, for
   /// `frame.duration`. The sender must not already be transmitting.
   void startTransmission(const Frame& frame);
@@ -73,6 +88,10 @@ class Medium {
   // --- diagnostics -------------------------------------------------------
   std::uint64_t framesDelivered() const { return framesDelivered_; }
   std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+  /// Frames dropped by the channel impairment model.
+  std::uint64_t framesImpaired() const { return framesImpaired_; }
+  /// Transmissions/receptions suppressed by the fault plane.
+  std::uint64_t framesSuppressed() const { return framesSuppressed_; }
 
  private:
   struct PendingRx {
@@ -82,6 +101,7 @@ class Medium {
   struct ActiveTx {
     Frame frame;
     TimePoint end;
+    bool silent = false;  ///< sender was down: nothing radiated
     std::vector<PendingRx> receptions;
   };
 
@@ -99,7 +119,11 @@ class Medium {
   std::vector<std::vector<topo::NodeId>> inCsRange_;
   std::uint64_t framesDelivered_ = 0;
   std::uint64_t framesCorrupted_ = 0;
+  std::uint64_t framesImpaired_ = 0;
+  std::uint64_t framesSuppressed_ = 0;
   MediumObserver* observer_ = nullptr;
+  const sim::FaultPlane* faults_ = nullptr;
+  ChannelImpairments* impairments_ = nullptr;
 };
 
 }  // namespace maxmin::phys

@@ -178,4 +178,31 @@ Scenario randomMesh(std::uint64_t seed, int nodes, double areaSide,
   throw InvariantViolation("unreachable");
 }
 
+topo::NodeId firstRelayNode(const Scenario& scenario) {
+  for (const net::FlowSpec& f : scenario.flows) {
+    const auto tree = topo::RoutingTree::shortestPaths(scenario.topology, f.dst);
+    const auto path = tree.pathFrom(f.src);
+    if (path.size() >= 3) return path[1];
+  }
+  MAXMIN_CHECK_MSG(false,
+                   "scenario " << scenario.name << " has no multi-hop flow");
+  throw InvariantViolation("unreachable");
+}
+
+sim::FaultScript midSessionRelayCrash(const Scenario& scenario,
+                                      Duration crashAt, Duration outage) {
+  MAXMIN_CHECK(outage > Duration::zero());
+  const topo::NodeId victim = firstRelayNode(scenario);
+  sim::FaultScript script;
+  sim::FaultEvent crash;
+  crash.at = TimePoint::origin() + crashAt;
+  crash.kind = sim::FaultEvent::Kind::kNodeDown;
+  crash.node = victim;
+  sim::FaultEvent recover = crash;
+  recover.at = crash.at + outage;
+  recover.kind = sim::FaultEvent::Kind::kNodeUp;
+  script.events = {crash, recover};
+  return script;
+}
+
 }  // namespace maxmin::scenarios

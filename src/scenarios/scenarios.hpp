@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "sim/fault_plane.hpp"
 #include "topology/topology.hpp"
 
 namespace maxmin::scenarios {
@@ -55,5 +56,16 @@ Scenario chain(int nodes, double spacing = 200.0,
 /// sampled src/dst pairs are connected.
 Scenario randomMesh(std::uint64_t seed, int nodes, double areaSide,
                     int numFlows, double desiredPps = 800.0);
+
+/// First intermediate hop on the path of the scenario's first multi-hop
+/// flow — the canonical victim for relay-crash robustness experiments
+/// (crashing it severs that flow while the rest of the network keeps
+/// running). Throws if every flow is single-hop.
+topo::NodeId firstRelayNode(const Scenario& scenario);
+
+/// Fault script that crashes firstRelayNode(scenario) at `crashAt` and
+/// recovers it `outage` later (measured from the simulation origin).
+sim::FaultScript midSessionRelayCrash(const Scenario& scenario,
+                                      Duration crashAt, Duration outage);
 
 }  // namespace maxmin::scenarios

@@ -1,0 +1,291 @@
+#include "sim/fault_plane.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace maxmin::sim {
+
+const char* faultEventKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kNodeDown: return "crash";
+    case FaultEvent::Kind::kNodeUp: return "recover";
+    case FaultEvent::Kind::kLinkDown: return "linkdown";
+    case FaultEvent::Kind::kLinkUp: return "linkup";
+    case FaultEvent::Kind::kClockSkew: return "skew";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const FaultEvent& e) {
+  os << faultEventKindName(e.kind) << ' ' << e.node;
+  if (e.kind == FaultEvent::Kind::kLinkDown ||
+      e.kind == FaultEvent::Kind::kLinkUp) {
+    os << '-' << e.peer;
+  }
+  if (e.kind == FaultEvent::Kind::kClockSkew) os << " +" << e.skew;
+  return os << " @" << e.at;
+}
+
+// ---------------------------------------------------------------------------
+// Script parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void parseError(const std::string& line, const char* why) {
+  throw std::invalid_argument("bad fault-script line '" + line + "': " + why);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is{line};
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::int32_t parseNode(const std::string& line, const std::string& tok) {
+  try {
+    const int v = std::stoi(tok);
+    if (v < 0) parseError(line, "node id must be non-negative");
+    return v;
+  } catch (const std::invalid_argument&) {
+    parseError(line, "expected a node id");
+  } catch (const std::out_of_range&) {
+    parseError(line, "node id out of range");
+  }
+}
+
+double parseNum(const std::string& line, const std::string& tok) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    parseError(line, "expected a number");
+  }
+}
+
+void parseChurnLine(const std::string& line,
+                    const std::vector<std::string>& tokens, ChurnConfig& out) {
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) parseError(line, "churn wants key=value");
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "nodes") {
+      std::istringstream is{value};
+      std::string part;
+      while (std::getline(is, part, ',')) {
+        if (!part.empty()) out.nodes.push_back(parseNode(line, part));
+      }
+    } else if (key == "up") {
+      out.meanUpSeconds = parseNum(line, value);
+    } else if (key == "down") {
+      out.meanDownSeconds = parseNum(line, value);
+    } else if (key == "from") {
+      out.start = TimePoint::origin() +
+                  Duration::seconds(parseNum(line, value));
+    } else if (key == "until") {
+      out.stop = TimePoint::origin() +
+                 Duration::seconds(parseNum(line, value));
+    } else {
+      parseError(line, "unknown churn key");
+    }
+  }
+  if (!out.enabled()) parseError(line, "churn needs nodes=, up= and down=");
+}
+
+}  // namespace
+
+FaultScript parseFaultScript(std::string_view text) {
+  FaultScript script;
+  // ';' and newlines both end a statement, so one-liners work on a CLI.
+  std::string normalized{text};
+  std::replace(normalized.begin(), normalized.end(), ';', '\n');
+  std::istringstream lines{normalized};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+
+    auto at = [&](const std::string& tok) {
+      return TimePoint::origin() + Duration::seconds(parseNum(line, tok));
+    };
+
+    FaultEvent e;
+    if (verb == "crash" || verb == "recover") {
+      if (tokens.size() != 3) parseError(line, "want: <node> <t>");
+      e.kind = verb == "crash" ? FaultEvent::Kind::kNodeDown
+                               : FaultEvent::Kind::kNodeUp;
+      e.node = parseNode(line, tokens[1]);
+      e.at = at(tokens[2]);
+    } else if (verb == "linkdown" || verb == "linkup") {
+      if (tokens.size() != 4) parseError(line, "want: <a> <b> <t>");
+      e.kind = verb == "linkdown" ? FaultEvent::Kind::kLinkDown
+                                  : FaultEvent::Kind::kLinkUp;
+      e.node = parseNode(line, tokens[1]);
+      e.peer = parseNode(line, tokens[2]);
+      e.at = at(tokens[3]);
+    } else if (verb == "skew") {
+      if (tokens.size() != 3 && tokens.size() != 4) {
+        parseError(line, "want: <node> <ms> [<t>]");
+      }
+      e.kind = FaultEvent::Kind::kClockSkew;
+      e.node = parseNode(line, tokens[1]);
+      const double ms = parseNum(line, tokens[2]);
+      if (ms < 0.0) parseError(line, "skew must be non-negative");
+      e.skew = Duration::seconds(ms * 1e-3);
+      if (tokens.size() == 4) e.at = at(tokens[3]);
+    } else if (verb == "churn") {
+      parseChurnLine(line, tokens, script.churn);
+      continue;
+    } else {
+      parseError(line, "unknown verb");
+    }
+    script.events.push_back(e);
+  }
+  return script;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlane
+// ---------------------------------------------------------------------------
+
+FaultPlane::FaultPlane(Simulator& sim, int numNodes, FaultScript script,
+                       Rng rng)
+    : sim_{sim}, script_{std::move(script)}, rng_{rng} {
+  MAXMIN_CHECK(numNodes > 0);
+  up_.assign(static_cast<std::size_t>(numNodes), true);
+  skew_.assign(static_cast<std::size_t>(numNodes), Duration::zero());
+  for (const FaultEvent& e : script_.events) {
+    checkNode(e.node);
+    if (e.kind == FaultEvent::Kind::kLinkDown ||
+        e.kind == FaultEvent::Kind::kLinkUp) {
+      checkNode(e.peer);
+      MAXMIN_CHECK_MSG(e.node != e.peer, "link fault needs two nodes");
+    }
+  }
+  for (const std::int32_t n : script_.churn.nodes) checkNode(n);
+}
+
+void FaultPlane::checkNode(std::int32_t node) const {
+  MAXMIN_CHECK_MSG(node >= 0 && node < static_cast<std::int32_t>(up_.size()),
+                   "fault references unknown node " << node);
+}
+
+void FaultPlane::addListener(FaultListener* listener) {
+  MAXMIN_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void FaultPlane::start() {
+  MAXMIN_CHECK_MSG(!started_, "FaultPlane::start called twice");
+  started_ = true;
+  for (const FaultEvent& e : script_.events) {
+    // Skew events at the origin apply immediately so the first period is
+    // already staggered; everything else waits for its instant.
+    if (e.kind == FaultEvent::Kind::kClockSkew && e.at == TimePoint::origin() &&
+        sim_.now() == TimePoint::origin()) {
+      apply(e);
+      continue;
+    }
+    MAXMIN_CHECK_MSG(e.at >= sim_.now(), "fault event in the past");
+    sim_.scheduleAt(e.at, [this, e] { apply(e); });
+  }
+  if (script_.churn.enabled()) {
+    for (const std::int32_t n : script_.churn.nodes) {
+      sim_.scheduleAt(std::max(script_.churn.start, sim_.now()),
+                      [this, n] { scheduleChurn(n); });
+    }
+  }
+}
+
+void FaultPlane::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultEvent::Kind::kNodeDown:
+      setNodeUp(e.node, false);
+      break;
+    case FaultEvent::Kind::kNodeUp:
+      setNodeUp(e.node, true);
+      break;
+    case FaultEvent::Kind::kLinkDown: {
+      if (cutLinks_.insert(normalized(e.node, e.peer)).second) {
+        ++linkCutsInjected_;
+        for (FaultListener* l : listeners_) {
+          l->onLinkChanged(e.node, e.peer, false);
+        }
+      }
+      break;
+    }
+    case FaultEvent::Kind::kLinkUp: {
+      if (cutLinks_.erase(normalized(e.node, e.peer)) > 0) {
+        for (FaultListener* l : listeners_) {
+          l->onLinkChanged(e.node, e.peer, true);
+        }
+      }
+      break;
+    }
+    case FaultEvent::Kind::kClockSkew:
+      skew_[static_cast<std::size_t>(e.node)] = e.skew;
+      break;
+  }
+}
+
+void FaultPlane::setNodeUp(std::int32_t node, bool up) {
+  auto state = up_.begin() + node;
+  if (*state == up) return;  // idempotent: scripted + churn may overlap
+  *state = up;
+  if (up) {
+    ++recoveriesInjected_;
+    for (FaultListener* l : listeners_) l->onNodeUp(node);
+  } else {
+    ++crashesInjected_;
+    for (FaultListener* l : listeners_) l->onNodeDown(node);
+  }
+}
+
+void FaultPlane::scheduleChurn(std::int32_t node) {
+  const ChurnConfig& churn = script_.churn;
+  const bool isUp = nodeUp(node);
+  if (isUp && sim_.now() >= churn.stop) return;  // no new outages
+  const double meanSeconds =
+      isUp ? churn.meanUpSeconds : churn.meanDownSeconds;
+  const Duration sojourn = std::max(
+      Duration::micros(1), Duration::seconds(rng_.exponential(meanSeconds)));
+  sim_.schedule(sojourn, [this, node] {
+    setNodeUp(node, !nodeUp(node));
+    scheduleChurn(node);
+  });
+}
+
+std::pair<std::int32_t, std::int32_t> FaultPlane::normalized(
+    std::int32_t a, std::int32_t b) const {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+bool FaultPlane::nodeUp(std::int32_t node) const {
+  return up_.at(static_cast<std::size_t>(node));
+}
+
+bool FaultPlane::linkUp(std::int32_t a, std::int32_t b) const {
+  return nodeUp(a) && nodeUp(b) && !cutLinks_.contains(normalized(a, b));
+}
+
+Duration FaultPlane::clockSkew(std::int32_t node) const {
+  return skew_.at(static_cast<std::size_t>(node));
+}
+
+Duration FaultPlane::maxClockSkew() const {
+  Duration m = Duration::zero();
+  for (const Duration d : skew_) m = std::max(m, d);
+  return m;
+}
+
+}  // namespace maxmin::sim

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 #include "util/check.hpp"
 
@@ -13,7 +14,7 @@ namespace maxmin {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+  explicit Rng(std::uint64_t seed) : seed_{seed}, engine_{seed} {}
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
@@ -40,11 +41,42 @@ class Rng {
 
   /// Derive an independent child generator (e.g. one per node) such that
   /// adding components does not perturb existing streams.
+  ///
+  /// Draws from this generator, so fork order matters: inserting a new
+  /// fork() call shifts every later child. For subsystems added after the
+  /// original fork sequence was frozen (fault injection, channel
+  /// impairments) use stream() instead, which leaves this generator's
+  /// state untouched.
   Rng fork() { return Rng{engine_() ^ 0x9e3779b97f4a7c15ULL}; }
+
+  /// Derive an independent named stream from this generator's *seed*
+  /// without consuming any randomness from it. Two streams with different
+  /// names (or indices) are decorrelated; the same (seed, name, index)
+  /// always yields the same stream. This is what lets optional subsystems
+  /// draw randomness without perturbing existing seeded runs.
+  Rng stream(std::string_view name, std::uint64_t index = 0) const {
+    // FNV-1a over the name, finalized with splitmix64 — cheap and plenty
+    // for decorrelating mt19937_64 seeds.
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : name) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ULL;
+    }
+    h ^= index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    std::uint64_t z = seed_ ^ h;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng{z ^ (z >> 31)};
+  }
+
+  /// The seed this generator was constructed with (stream derivation key).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

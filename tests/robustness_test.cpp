@@ -1,0 +1,283 @@
+// End-to-end robustness tests: GMP graceful degradation under node
+// crashes, recovery, clock skew and bursty control-frame loss; the
+// backpressure-liveness guarantee when a downstream neighbor dies; and
+// the dissemination protocol's sequence-number hardening (wraparound,
+// origin reboot).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/disruption.hpp"
+#include "analysis/experiment.hpp"
+#include "baselines/configs.hpp"
+#include "gmp/controller.hpp"
+#include "gmp/dissemination.hpp"
+#include "net/network.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace maxmin {
+namespace {
+
+net::Network makeGmpNetwork(const scenarios::Scenario& sc,
+                            std::uint64_t seed,
+                            net::NetworkConfig base = {}) {
+  net::NetworkConfig cfg = baselines::configGmp(base);
+  cfg.seed = seed;
+  return net::Network{sc.topology, cfg, sc.flows};
+}
+
+// --- satellite: enabling the fault plane must not perturb seeded runs -------
+
+TEST(FaultRngStreams, EnablingFaultsDoesNotPerturbSeededRuns) {
+  const auto sc = scenarios::fig3();
+
+  auto plain = makeGmpNetwork(sc, 21);
+  plain.run(Duration::seconds(30.0));
+
+  auto faulted = makeGmpNetwork(sc, 21);
+  // The scripted event sits beyond the horizon: the plane is active (and
+  // gates the medium) but nothing fires. Deliveries must be
+  // bit-identical — the fault RNG is a named stream, not a fork that
+  // would shift every node's randomness.
+  faulted.enableFaults(sim::parseFaultScript("crash 1 100"));
+  faulted.run(Duration::seconds(30.0));
+
+  for (const auto& f : sc.flows) {
+    EXPECT_EQ(plain.delivered(f.id), faulted.delivered(f.id))
+        << "flow " << f.id;
+  }
+}
+
+// --- crash semantics ---------------------------------------------------------
+
+TEST(Crash, SilencesRadioAndFlushesQueues) {
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 9);
+  net.enableFaults(sim::parseFaultScript("crash 1 10"));
+  net.run(Duration::seconds(20.0));
+
+  EXPECT_FALSE(net.stack(1).operational());
+  EXPECT_GT(net.totalCrashDrops(), 0) << "queued packets vanish at a crash";
+  EXPECT_GT(net.medium().framesSuppressed(), 0)
+      << "frames to/from the dead node must be suppressed";
+  const auto before = net.delivered(0);
+  net.run(Duration::seconds(10.0));
+  EXPECT_EQ(net.delivered(0), before)
+      << "flow through the dead relay cannot deliver";
+}
+
+TEST(Crash, RecoveryRestartsSourcesAndForwarding) {
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 9);
+  net.enableFaults(sim::parseFaultScript("crash 1 10; recover 1 20"));
+  net.run(Duration::seconds(25.0));
+  EXPECT_TRUE(net.stack(1).operational());
+  const auto before = net.delivered(0);
+  net.run(Duration::seconds(15.0));
+  EXPECT_GT(net.delivered(0), before) << "deliveries resume after recovery";
+}
+
+// --- satellite: backpressure liveness with a dead downstream neighbor -------
+
+TEST(BackpressureLiveness, UpstreamUnblocksAfterNeighborDeadTtl) {
+  const auto sc = scenarios::fig3();
+  net::NetworkConfig base;
+  base.neighborDeadTtl = Duration::seconds(2.0);
+  auto net = makeGmpNetwork(sc, 9, base);
+  net.enableFaults(sim::parseFaultScript("crash 2 5"));
+
+  net.run(Duration::seconds(15.0));
+  EXPECT_TRUE(net.stack(1).neighborDead(2))
+      << "after the TTL of consecutive failures node 1 declares 2 dead";
+  const auto dropsMid = net.totalDeadNeighborDrops();
+  EXPECT_GT(dropsMid, 0) << "upstream must drop instead of deadlocking";
+
+  // Liveness: the upstream keeps draining (and reporting) rather than
+  // holding the head-of-line packet forever.
+  net.run(Duration::seconds(10.0));
+  EXPECT_GT(net.totalDeadNeighborDrops(), dropsMid);
+  EXPECT_EQ(net.totalQueueDrops(), 0)
+      << "per-destination tail drops stay zero; only dead-next-hop drops";
+}
+
+TEST(BackpressureLiveness, NeighborRecoveryClearsDeadState) {
+  const auto sc = scenarios::fig3();
+  net::NetworkConfig base;
+  base.neighborDeadTtl = Duration::seconds(2.0);
+  auto net = makeGmpNetwork(sc, 9, base);
+  net.enableFaults(sim::parseFaultScript("crash 2 5; recover 2 20"));
+
+  net.run(Duration::seconds(18.0));
+  ASSERT_TRUE(net.stack(1).neighborDead(2));
+  net.run(Duration::seconds(12.0));
+  EXPECT_FALSE(net.stack(1).neighborDead(2))
+      << "a decoded frame or MAC success must revive the neighbor";
+  const auto before = net.delivered(0);
+  net.run(Duration::seconds(10.0));
+  EXPECT_GT(net.delivered(0), before);
+}
+
+// --- satellite: dissemination sequence-number hardening ---------------------
+
+net::Network makeIdleNetwork(const scenarios::Scenario& sc) {
+  auto flows = sc.flows;
+  for (auto& f : flows) f.desiredRate = PacketRate::perSecond(1.0);
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 31;
+  return net::Network{sc.topology, cfg, flows};
+}
+
+TEST(DisseminationHardening, SerialComparisonHandlesWraparound) {
+  using D = gmp::LinkStateDissemination;
+  EXPECT_TRUE(D::seqNewer(1, 0));
+  EXPECT_FALSE(D::seqNewer(0, 1));
+  EXPECT_FALSE(D::seqNewer(5, 5));
+  EXPECT_TRUE(D::seqNewer(0, D::kSeqModulus - 1));  // wrap
+  EXPECT_TRUE(D::seqNewer(3, D::kSeqModulus - 2));
+  EXPECT_FALSE(D::seqNewer(D::kSeqModulus - 1, 0));
+}
+
+TEST(DisseminationHardening, AnnouncementsSurviveSeqWraparound) {
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  gmp::LinkStateDissemination diss{net};
+  diss.setNextSeqForTest(1, gmp::LinkStateDissemination::kSeqModulus - 2);
+
+  for (int round = 0; round < 4; ++round) {
+    diss.announce(1, {{topo::Link{1, 2}, 10.0 * (round + 1), 0.1}});
+    net.run(Duration::millis(50));
+  }
+  // The post-wrap announcements (seq 0, 1) supersede the pre-wrap ones
+  // (seq 65534, 65535) at every receiver.
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 40.0);
+  EXPECT_DOUBLE_EQ(diss.knownStates(2).at(topo::Link{1, 2}).normRate, 40.0);
+  EXPECT_EQ(diss.staleDropped(), 0);
+}
+
+TEST(DisseminationHardening, RebootedOriginReentersAfterFreshnessTtl) {
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  gmp::LinkStateDissemination diss{net};
+  diss.setFreshnessTtl(Duration::seconds(2.0));
+
+  diss.setNextSeqForTest(1, 1000);
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.5}});
+  net.run(Duration::millis(100));
+  ASSERT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 50.0);
+
+  // Origin reboots and restarts its counter. Its first announcement
+  // carries seq 0 < 1000, arrives well inside the freshness TTL, and
+  // must NOT overwrite the (possibly newer) stored state.
+  diss.setNextSeqForTest(1, 0);
+  diss.announce(1, {{topo::Link{1, 2}, 60.0, 0.6}});
+  net.run(Duration::millis(100));
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 50.0);
+  EXPECT_GT(diss.staleDropped(), 0);
+
+  // Once the stale high water mark has expired, the rebooted origin's
+  // low sequence numbers are accepted again.
+  net.run(Duration::seconds(2.5));
+  diss.announce(1, {{topo::Link{1, 2}, 70.0, 0.7}});
+  net.run(Duration::millis(100));
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 70.0);
+  EXPECT_GT(diss.rebootAccepts(), 0);
+}
+
+// --- controller degradation --------------------------------------------------
+
+TEST(GmpDegradation, StaleNodeTriggersConservativeDecay) {
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("crash 1 20"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(80.0));
+
+  EXPECT_GT(controller.staleMeasurementsUsed(), 0)
+      << "the cached measurement must bridge the TTL window first";
+  const auto& snap = controller.lastSnapshot();
+  EXPECT_TRUE(snap.staleNodes.contains(1));
+  // Flows crossing node 1 (f1: 0->3, f2: 1->3) are impaired; f3 (2->3)
+  // is not.
+  EXPECT_TRUE(snap.impairedFlows.contains(0));
+  EXPECT_TRUE(snap.impairedFlows.contains(1));
+  EXPECT_FALSE(snap.impairedFlows.contains(2));
+  EXPECT_GT(controller.lastReport().staleDecays, 0);
+
+  // The impaired flows' limits have decayed to the floor instead of
+  // freezing at the pre-fault equilibrium.
+  const gmp::GmpParams params;
+  ASSERT_TRUE(net.rateLimit(0).has_value());
+  EXPECT_LE(*net.rateLimit(0), params.minRatePps + 1e-9);
+}
+
+TEST(GmpDegradation, ClockSkewStaggersPeriodClosesAndStillAdjusts) {
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("skew 1 120; skew 2 60"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(100.0));
+
+  EXPECT_GT(controller.skewedPeriods(), 0);
+  EXPECT_GT(controller.periodsRun(), 20);
+  EXPECT_EQ(net.totalQueueDrops(), 0);
+  for (const auto& fs : controller.lastSnapshot().flows) {
+    EXPECT_GT(fs.ratePps, 0.0) << "flow " << fs.id;
+  }
+}
+
+// --- the acceptance experiment ----------------------------------------------
+
+TEST(GmpDegradation, Fig4CrashRecoveryWithBurstyControlLossReconverges) {
+  // ISSUE acceptance: Fig. 4 + scripted mid-session relay crash and
+  // recovery + ~20 % Gilbert-Elliott loss on control frames. GMP must
+  // re-converge to I_eq >= 0.9 within 10 adjustment periods of the
+  // recovery, with zero deadlocked queues.
+  const auto sc = scenarios::fig4();
+
+  analysis::RunConfig cfg;
+  cfg.protocol = analysis::Protocol::kGmp;
+  cfg.duration = Duration::seconds(400.0);
+  cfg.warmup = Duration::seconds(200.0);
+  cfg.seed = 7;
+  cfg.faults = scenarios::midSessionRelayCrash(sc, Duration::seconds(120.0),
+                                               Duration::seconds(40.0));
+  cfg.netBase.impairments.gilbert.pGoodToBad = 0.05;
+  cfg.netBase.impairments.gilbert.pBadToGood = 0.20;
+  cfg.netBase.impairments.gilbert.lossBad = 1.0;
+  cfg.netBase.impairments.scope =
+      phys::ImpairmentConfig::Scope::kControlFrames;
+
+  const auto result = analysis::runScenario(sc, cfg);
+
+  std::map<net::FlowId, int> hops;
+  for (const auto& f : result.flows) hops[f.id] = f.hops;
+  analysis::DisruptionConfig dc;
+  dc.faultPeriod = 30;     // crash at 120 s / 4 s periods
+  dc.recoveryPeriod = 40;  // recovery at 160 s
+  const auto report = analysis::analyzeDisruption(result.rateHistory, hops, dc);
+
+  EXPECT_GT(report.baselineIeq, 0.9) << "pre-fault fairness must be healthy";
+  EXPECT_LT(report.dipIeq, report.baselineIeq)
+      << "the crash must actually disturb the allocation";
+  ASSERT_GE(report.periodsToReconverge, 0) << "never re-converged";
+  EXPECT_LE(report.periodsToReconverge, 10);
+  EXPECT_GE(result.summary.ieq, 0.9)
+      << "steady state after recovery must be fair";
+
+  // Zero deadlocked queues: the lossless per-destination scheme never
+  // tail-drops, and after recovery every flow is moving again.
+  EXPECT_EQ(result.queueDrops, 0);
+  ASSERT_FALSE(result.rateHistory.empty());
+  for (const auto& [id, rate] : result.rateHistory.back()) {
+    EXPECT_GT(rate, 0.0) << "flow " << id << " wedged after recovery";
+  }
+  EXPECT_GT(result.crashDrops, 0) << "the crash flushed the relay's queues";
+  EXPECT_GT(result.staleMeasurementsUsed, 0);
+  EXPECT_GT(result.limitsRestored, 0)
+      << "recovery must restore pre-fault limits";
+}
+
+}  // namespace
+}  // namespace maxmin

@@ -7,10 +7,16 @@
 //   maxmin_sim --scenario fig3 --protocol gmp
 //   maxmin_sim --scenario fig2w --protocol gmp --duration 400 --seed 9
 //   maxmin_sim --scenario mesh --nodes 12 --flows 5 --protocol 802.11 --csv
+//   maxmin_sim --scenario fig4 --faults "crash 1 60; recover 1 100"
+//   maxmin_sim --scenario fig3 --faults outage.faults --ge 0.05:0.25:1
+//       --impair-scope control
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "analysis/experiment.hpp"
@@ -31,6 +37,10 @@ struct Options {
   int flows = 5;        // mesh only
   double area = 1000.0; // mesh only
   bool csv = false;
+  std::string faults;     // file path or inline script; empty = none
+  double per = 0.0;       // uniform per-frame loss probability
+  std::string ge;         // "pGoodToBad:pBadToGood:lossBad"
+  std::string impairScope = "all";
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -42,7 +52,12 @@ struct Options {
       << "  --warmup    seconds                               (default 200)\n"
       << "  --seed      integer                               (default 7)\n"
       << "  --nodes/--flows/--area   random-mesh parameters\n"
-      << "  --csv       emit CSV instead of a table\n";
+      << "  --csv       emit CSV instead of a table\n"
+      << "  --faults    fault script: a file path, or inline text like\n"
+      << "              \"crash 1 60; recover 1 100\" (see sim/fault_plane.hpp)\n"
+      << "  --per       uniform per-frame loss probability      (default 0)\n"
+      << "  --ge        Gilbert-Elliott bursty loss, pGoodToBad:pBadToGood:lossBad\n"
+      << "  --impair-scope  all|control|data   frames hit by --per/--ge\n";
   std::exit(2);
 }
 
@@ -72,11 +87,62 @@ Options parse(int argc, char** argv) {
       o.area = std::stod(value());
     } else if (arg == "--csv") {
       o.csv = true;
+    } else if (arg == "--faults") {
+      o.faults = value();
+    } else if (arg == "--per") {
+      o.per = std::stod(value());
+    } else if (arg == "--ge") {
+      o.ge = value();
+    } else if (arg == "--impair-scope") {
+      o.impairScope = value();
     } else {
       usage(argv[0]);
     }
   }
   return o;
+}
+
+/// `--faults` accepts either a script file or inline text.
+sim::FaultScript loadFaultScript(const std::string& arg) {
+  std::string text = arg;
+  if (std::ifstream file{arg}; file) {
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    text = contents.str();
+  }
+  try {
+    return sim::parseFaultScript(text);
+  } catch (const std::exception& e) {
+    std::cerr << "bad fault script: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
+
+phys::ImpairmentConfig makeImpairments(const Options& o) {
+  phys::ImpairmentConfig cfg;
+  cfg.per = o.per;
+  if (!o.ge.empty()) {
+    char c1 = 0;
+    char c2 = 0;
+    std::istringstream in{o.ge};
+    if (!(in >> cfg.gilbert.pGoodToBad >> c1 >> cfg.gilbert.pBadToGood >> c2 >>
+          cfg.gilbert.lossBad) ||
+        c1 != ':' || c2 != ':') {
+      std::cerr << "--ge expects pGoodToBad:pBadToGood:lossBad\n";
+      std::exit(2);
+    }
+  }
+  if (o.impairScope == "all") {
+    cfg.scope = phys::ImpairmentConfig::Scope::kAllFrames;
+  } else if (o.impairScope == "control") {
+    cfg.scope = phys::ImpairmentConfig::Scope::kControlFrames;
+  } else if (o.impairScope == "data") {
+    cfg.scope = phys::ImpairmentConfig::Scope::kDataFrames;
+  } else {
+    std::cerr << "unknown --impair-scope '" << o.impairScope << "'\n";
+    std::exit(2);
+  }
+  return cfg;
 }
 
 scenarios::Scenario pickScenario(const Options& o) {
@@ -118,8 +184,19 @@ int main(int argc, char** argv) {
     std::cerr << "warmup must be shorter than duration\n";
     return 2;
   }
+  if (!options.faults.empty()) cfg.faults = loadFaultScript(options.faults);
+  cfg.netBase.impairments = makeImpairments(options);
 
-  const auto result = analysis::runScenario(scenario, cfg);
+  analysis::RunResult result;
+  try {
+    result = analysis::runScenario(scenario, cfg);
+  } catch (const std::exception& e) {
+    // A fault script can be well-formed yet invalid for the chosen
+    // scenario (e.g. it names a node the topology doesn't have); that
+    // is a usage error, not a simulator bug.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 
   Table table({"flow", "src>dst", "weight", "hops", "rate_pps", "mu"});
   for (std::size_t i = 0; i < result.flows.size(); ++i) {
@@ -140,6 +217,19 @@ int main(int argc, char** argv) {
   metrics.addRow({"I_mm_normalized",
                   Table::num(result.normalizedSummary.imm, 4)});
   metrics.addRow({"queue_drops", std::to_string(result.queueDrops)});
+  const bool faulted =
+      !options.faults.empty() || cfg.netBase.impairments.enabled();
+  if (faulted) {
+    metrics.addRow({"crash_drops", std::to_string(result.crashDrops)});
+    metrics.addRow(
+        {"dead_nexthop_drops", std::to_string(result.deadNeighborDrops)});
+    metrics.addRow({"frames_impaired", std::to_string(result.framesImpaired)});
+    metrics.addRow(
+        {"frames_suppressed", std::to_string(result.framesSuppressed)});
+    metrics.addRow({"stale_meas_used",
+                    std::to_string(result.staleMeasurementsUsed)});
+    metrics.addRow({"limits_restored", std::to_string(result.limitsRestored)});
+  }
 
   if (options.csv) {
     table.printCsv(std::cout);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Configure and build the ASan+UBSan preset, then run the test suite (or
+# a filtered subset) under the sanitizers. Usage:
+#
+#   tools/run_sanitized_tests.sh                 # full suite
+#   tools/run_sanitized_tests.sh 'fault|robust'  # ctest -R filter
+#
+# The fault-injection and robustness tests exercise the crash/recover
+# state machine, whose bugs are exactly the use-after-flush and
+# dangling-timer kind that the sanitizers catch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+
+cd build-asan
+if [[ -n "$FILTER" ]]; then
+  ctest --output-on-failure -j "$(nproc)" -R "$FILTER"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi
