@@ -3,6 +3,10 @@
 // end-to-end DES throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "analysis/maxmin_solver.hpp"
 #include "baselines/configs.hpp"
 #include "fluid/fluid_network.hpp"
@@ -35,6 +39,60 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// Steady-state churn: a fixed population of pending events where every
+// firing schedules a successor — the actual workload shape of a running
+// simulation (timers re-arming, frames chaining), as opposed to the
+// bulk-load-then-drain shape above.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  const auto population = static_cast<int>(state.range(0));
+  constexpr int kFiresPerIter = 20000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    Rng rng{7};
+    std::int64_t fired = 0;
+    std::function<void()> chain = [&] {
+      ++fired;
+      if (fired + static_cast<std::int64_t>(sim.pendingEvents()) <
+          kFiresPerIter) {
+        sim.schedule(Duration::micros(rng.uniformInt(1, 10000)), [&] {
+          chain();
+        });
+      }
+    };
+    for (int i = 0; i < population; ++i) {
+      sim.schedule(Duration::micros(rng.uniformInt(1, 10000)),
+                   [&] { chain(); });
+    }
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kFiresPerIter);
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(100)->Arg(10000);
+
+// Same-instant bursts: many events at identical timestamps (period
+// boundaries in GMP fire every node's window close at once); stresses
+// FIFO tie-breaking and the sorted-run insert path.
+void BM_EventQueueSameInstantBursts(benchmark::State& state) {
+  constexpr int kBursts = 100;
+  constexpr int kPerBurst = 100;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int b = 0; b < kBursts; ++b) {
+      for (int i = 0; i < kPerBurst; ++i) {
+        sim.schedule(Duration::millis(b), [&fired] { ++fired; });
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kBursts * kPerBurst);
+}
+BENCHMARK(BM_EventQueueSameInstantBursts);
 
 void BM_EventCancellation(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,183 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace maxmin::exp {
+namespace {
+
+SweepOutcome runOne(const SweepJob& job) {
+  SweepOutcome out;
+  out.label = job.label;
+  out.seed = job.config.seed;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    out.result = analysis::runScenario(job.scenario, job.config);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  out.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(int jobs) : jobs_{jobs} {
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs_ <= 0) jobs_ = 1;
+  }
+}
+
+std::vector<SweepOutcome> SweepRunner::runAll(
+    const std::vector<SweepJob>& jobs) const {
+  std::vector<SweepOutcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  const int workers =
+      std::min(jobs_, static_cast<int>(jobs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) outcomes[i] = runOne(jobs[i]);
+    return outcomes;
+  }
+
+  // Work-stealing by shared counter: each worker claims the next
+  // unclaimed job and writes its outcome by index. Job order in the
+  // result is the input order; which thread ran a job is invisible.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      outcomes[i] = runOne(jobs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return outcomes;
+}
+
+std::vector<SweepJob> seedGrid(const scenarios::Scenario& scenario,
+                               const analysis::RunConfig& base, int count) {
+  MAXMIN_CHECK(count >= 0);
+  std::vector<SweepJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SweepJob job;
+    job.scenario = scenario;
+    job.config = base;
+    job.config.seed = base.seed + static_cast<std::uint64_t>(i);
+    job.label = scenario.name + "/" +
+                analysis::protocolName(base.protocol) + "/seed=" +
+                std::to_string(job.config.seed);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+SweepSummary summarize(const std::vector<SweepOutcome>& outcomes) {
+  SweepSummary s;
+  s.total = static_cast<int>(outcomes.size());
+  for (const SweepOutcome& o : outcomes) {
+    if (!o.ok) {
+      ++s.failed;
+      continue;
+    }
+    s.imm.add(o.result.summary.imm);
+    s.ieq.add(o.result.summary.ieq);
+    s.throughputPps.add(o.result.summary.effectiveThroughputPps);
+    s.queueDrops.add(static_cast<double>(o.result.queueDrops));
+    s.wallSeconds.add(o.wallSeconds);
+  }
+  return s;
+}
+
+namespace {
+
+void jsonEscape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u001f";  // control chars never appear in our labels
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void jsonStats(std::ostream& os, const char* name, const RunningStats& st) {
+  os << '"' << name << "\":{\"mean\":" << st.mean()
+     << ",\"stddev\":" << st.stddev() << ",\"min\":" << st.min()
+     << ",\"max\":" << st.max() << ",\"n\":" << st.count() << '}';
+}
+
+}  // namespace
+
+void writeJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes,
+               const SweepSummary& summary) {
+  os << "{\"runs\":[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    if (i > 0) os << ',';
+    os << "{\"label\":";
+    jsonEscape(os, o.label);
+    os << ",\"seed\":" << o.seed << ",\"ok\":" << (o.ok ? "true" : "false");
+    if (o.ok) {
+      os << ",\"i_mm\":" << o.result.summary.imm
+         << ",\"i_eq\":" << o.result.summary.ieq
+         << ",\"u_pkt_hops_per_s\":"
+         << o.result.summary.effectiveThroughputPps
+         << ",\"total_rate_pps\":" << o.result.summary.totalRatePps
+         << ",\"queue_drops\":" << o.result.queueDrops << ",\"flows\":[";
+      for (std::size_t f = 0; f < o.result.flows.size(); ++f) {
+        const auto& flow = o.result.flows[f];
+        if (f > 0) os << ',';
+        os << "{\"name\":";
+        jsonEscape(os, flow.name);
+        os << ",\"rate_pps\":" << flow.ratePps << ",\"hops\":" << flow.hops
+           << '}';
+      }
+      os << ']';
+    } else {
+      os << ",\"error\":";
+      jsonEscape(os, o.error);
+    }
+    os << ",\"wall_seconds\":" << o.wallSeconds << '}';
+  }
+  os << "],\"summary\":{\"total\":" << summary.total
+     << ",\"failed\":" << summary.failed << ',';
+  jsonStats(os, "i_mm", summary.imm);
+  os << ',';
+  jsonStats(os, "i_eq", summary.ieq);
+  os << ',';
+  jsonStats(os, "u_pkt_hops_per_s", summary.throughputPps);
+  os << ',';
+  jsonStats(os, "queue_drops", summary.queueDrops);
+  os << ',';
+  jsonStats(os, "wall_seconds", summary.wallSeconds);
+  os << "}}\n";
+}
+
+}  // namespace maxmin::exp

@@ -1,5 +1,6 @@
 #include "phys/frame_trace.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace maxmin::phys {
@@ -62,6 +63,15 @@ void FrameTrace::onCorruption(const Frame& frame, topo::NodeId receiver,
   if (!passes(frame, receiver)) return;
   record(Event{at, EventKind::kCorruption, frame.kind, frame.transmitter,
                frame.addressee, receiver});
+}
+
+std::vector<std::pair<topo::Link, FrameTrace::LinkStats>>
+FrameTrace::sortedLinkStats() const {
+  std::vector<std::pair<topo::Link, LinkStats>> out{linkStats_.begin(),
+                                                    linkStats_.end()};
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void FrameTrace::dump(std::ostream& os) const {

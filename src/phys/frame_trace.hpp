@@ -8,8 +8,9 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <map>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "phys/medium.hpp"
@@ -53,9 +54,17 @@ class FrameTrace final : public MediumObserver {
                         : static_cast<double>(corrupted) / total;
     }
   };
-  const std::map<topo::Link, LinkStats>& linkStats() const {
+  /// Hashed for O(1) per-frame updates on the observer hot path; use
+  /// sortedLinkStats() when a deterministic order is needed.
+  const std::unordered_map<topo::Link, LinkStats, topo::LinkHash>& linkStats()
+      const {
     return linkStats_;
   }
+
+  /// Link stats ordered by (transmitter, addressee) — for reports and any
+  /// output that must be reproducible. Sorting happens here, once, instead
+  /// of on every frame.
+  std::vector<std::pair<topo::Link, LinkStats>> sortedLinkStats() const;
 
   /// One line per retained event: "t=<us> KIND FRAME tx>addr [rx=...]".
   void dump(std::ostream& os) const;
@@ -77,7 +86,7 @@ class FrameTrace final : public MediumObserver {
   std::vector<Event> events_;
   std::optional<topo::NodeId> nodeFilter_;
   std::optional<FrameKind> kindFilter_;
-  std::map<topo::Link, LinkStats> linkStats_;
+  std::unordered_map<topo::Link, LinkStats, topo::LinkHash> linkStats_;
   std::uint64_t totalObserved_ = 0;
 };
 

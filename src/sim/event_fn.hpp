@@ -1,0 +1,140 @@
+// Small-buffer move-only callback for the event queue.
+//
+// std::function allocates for any capture larger than ~2 pointers and
+// drags in copy-constructibility; nearly every event callback in this
+// codebase captures a `this` pointer and at most a couple of values.
+// EventFn stores callables up to kInlineSize bytes in place (no heap
+// traffic on the schedule/fire hot path) and falls back to the heap only
+// for oversized or throwing-move captures. Trivially-relocatable payloads
+// (plain capture lambdas, the heap fallback's pointer) move via a
+// constant-size memcpy — a handful of vector stores, no indirect call.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace maxmin::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget. 48 bytes holds a `this` pointer plus five
+  /// words of captured state — every callback in src/ fits.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kInlinable<Fn>) {
+      if constexpr (kTrivialRelocate<Fn>) {
+        // Trivial payloads relocate by whole-buffer memcpy; define every
+        // byte up front so the tail beyond sizeof(Fn) is legal to read.
+        std::memset(storage_, 0, kInlineSize);
+      }
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      std::memset(storage_, 0, kInlineSize);
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct `dst` from `src`'s payload and destroy `src`'s.
+    /// nullptr means the payload relocates by whole-buffer memcpy.
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// nullptr means the payload needs no destruction.
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr bool kInlinable =
+      sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(void*) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr bool kTrivialRelocate =
+      std::is_trivially_move_constructible_v<Fn> &&
+      std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      kTrivialRelocate<Fn>
+          ? nullptr
+          : +[](void* src, void* dst) noexcept {
+              Fn* f = std::launder(reinterpret_cast<Fn*>(src));
+              ::new (dst) Fn(std::move(*f));
+              f->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  /// Heap payload is a single owning pointer: trivially relocatable, but
+  /// must be deleted on destroy.
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      nullptr,
+      [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void moveFrom(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineSize);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  // Pointer alignment (not max_align_t) keeps sizeof(EventFn) at 56, so a
+  // slab Record fits exactly one cache line; over-aligned callables take
+  // the heap path via kInlinable.
+  alignas(void*) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace maxmin::sim

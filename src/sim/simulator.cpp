@@ -1,77 +1,112 @@
+// Cold paths of the calendar event queue: tier refills, window sizing,
+// tombstone compaction. The per-event hot path lives in simulator.hpp.
 #include "sim/simulator.hpp"
 
-#include <utility>
-
-#include "util/check.hpp"
+#include <algorithm>
+#include <bit>
+#include <cstddef>
 
 namespace maxmin::sim {
 
-EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
-  MAXMIN_CHECK(delay >= Duration::zero());
-  return scheduleAt(now_ + delay, std::move(fn));
+// Sorted insert at or beyond the run cursor. The key was just issued, so
+// its seq is the largest outstanding; upper_bound on (when, seq) therefore
+// lands after every pending key at the same instant, preserving FIFO.
+void Simulator::insertIntoRun(const Key& key) {
+  const auto it = std::upper_bound(
+      run_.begin() + static_cast<std::ptrdiff_t>(runPos_), run_.end(), key,
+      earlier);
+  run_.insert(it, key);
 }
 
-EventId Simulator::scheduleAt(TimePoint when, std::function<void()> fn) {
-  MAXMIN_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
-                                     << " < now " << now_);
-  MAXMIN_CHECK(fn != nullptr);
-  const EventId id = nextId_++;
-  queue_.push(Entry{when, id, nextSeq_++, std::move(fn)});
-  return id;
+// The active run is spent: activate the next non-empty bucket, rebuilding
+// the window from the far pool when the current one is exhausted. Caller
+// guarantees at least one live key remains somewhere.
+void Simulator::refillRun() {
+  run_.clear();
+  runPos_ = 0;
+  for (;;) {
+    while (nextBucket_ < buckets_.size()) {
+      std::vector<Key>& b = buckets_[nextBucket_++];
+      if (b.empty()) continue;
+      run_.swap(b);  // the bucket inherits the spent run's capacity
+      std::sort(run_.begin(), run_.end(), earlier);
+      runEnd_ = nextBucket_ == buckets_.size()
+                    ? windowEnd_
+                    : windowStart_ +
+                          Duration::micros(
+                              bucketWidthUs_ *
+                              static_cast<std::int64_t>(nextBucket_));
+      return;
+    }
+    runEnd_ = windowEnd_;
+    rebuildWindow();
+  }
 }
 
-void Simulator::cancel(EventId id) {
-  if (id == kInvalidEventId) return;
-  // Lazy deletion: remember the id; skip the entry when it surfaces.
-  cancelled_.insert(id);
-}
-
-bool Simulator::popLive(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the function object must be moved out,
-    // so copy the POD parts first and const_cast for the move. The entry is
-    // popped immediately after, so no observer can see the moved-from state.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+// Carve a fresh bucket window spanning exactly the far pool's live keys:
+// power-of-two bucket count targeting ~kBucketLoad keys per bucket (sorts
+// of that size are trivial, and fewer buckets means fewer allocations and
+// a shorter skip over empty ones), capped so the bucket array stays
+// modest. Tombstones are dropped for free during the span scan.
+void Simulator::rebuildWindow() {
+  std::size_t w = 0;
+  TimePoint minW;
+  TimePoint maxW;
+  for (const Key& k : far_) {
+    if (!isLive(k)) {
+      --dead_;
       continue;
     }
-    out = Entry{top.when, top.id, top.seq, std::move(top.fn)};
-    queue_.pop();
-    return true;
+    if (w == 0 || k.when < minW) minW = k.when;
+    if (w == 0 || k.when > maxW) maxW = k.when;
+    far_[w++] = k;
   }
-  return false;
+  far_.resize(w);
+  MAXMIN_CHECK(w > 0);  // live_ > 0 and every other tier is drained
+  const std::int64_t spanUs = (maxW - minW).asMicros() + 1;
+  constexpr std::size_t kBucketLoad = 8;
+  const auto nb = static_cast<std::int64_t>(std::bit_ceil(
+      std::min<std::size_t>(std::max<std::size_t>(w / kBucketLoad, 1),
+                            std::size_t{1} << 16)));
+  bucketWidthUs_ = (spanUs + nb - 1) / nb;
+  if (bucketWidthUs_ <= 0) bucketWidthUs_ = 1;
+  windowStart_ = minW;
+  windowEnd_ = maxW + Duration::micros(1);
+  buckets_.resize(static_cast<std::size_t>(nb));  // all currently empty
+  nextBucket_ = 0;
+  for (const Key& k : far_) {
+    buckets_[bucketIndex(k.when)].push_back(k);
+  }
+  far_.clear();
 }
 
-bool Simulator::step() {
-  Entry e;
-  if (!popLive(e)) return false;
-  MAXMIN_CHECK(e.when >= now_);
-  now_ = e.when;
-  ++executed_;
-  e.fn();
-  return true;
+// The queue is fully drained: anything left in any tier is a tombstone.
+// Collapse the window so the next push routes to the far pool and the next
+// refill sizes a window around whatever is pending then.
+void Simulator::resetTiers() {
+  run_.clear();
+  runPos_ = 0;
+  for (std::vector<Key>& b : buckets_) b.clear();
+  far_.clear();
+  nextBucket_ = buckets_.size();
+  dead_ = 0;
+  runEnd_ = now_;
+  windowStart_ = now_;
+  windowEnd_ = now_;
 }
 
-void Simulator::run() {
-  while (step()) {
-  }
-}
-
-void Simulator::runUntil(TimePoint until) {
-  MAXMIN_CHECK(until >= now_);
-  while (!queue_.empty()) {
-    // Peek past cancelled entries without executing.
-    if (cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().when > until) break;
-    step();
-  }
-  now_ = until;
+// Sweep tombstones out of every tier. Triggered when dead keys outnumber
+// live ones, which bounds queue memory to O(live) and keeps the amortized
+// cost per cancel constant. erase_if is stable, so live run order — and
+// with it pop order — is untouched.
+void Simulator::compact() {
+  const auto dead = [this](const Key& k) { return !isLive(k); };
+  run_.erase(run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(runPos_));
+  runPos_ = 0;
+  std::erase_if(run_, dead);
+  for (std::vector<Key>& b : buckets_) std::erase_if(b, dead);
+  std::erase_if(far_, dead);
+  dead_ = 0;
 }
 
 }  // namespace maxmin::sim

@@ -2,21 +2,45 @@
 //
 // Single-threaded, deterministic: events at equal timestamps execute in
 // scheduling order (FIFO by sequence number), so a run is a pure function of
-// the scenario and its RNG seed.
+// the scenario and its RNG seed. Distinct Simulator instances share no state,
+// which is what makes exp::SweepRunner's run-per-thread parallelism safe.
+//
+// Internals (see DESIGN.md §8): event callbacks live in a slab indexed by a
+// free list; an EventId packs {slot, generation} so cancelling a fired or
+// stale id is a two-compare no-op — there is no tombstone *set* to leak.
+// Cancel is an O(1) generation bump that strands a dead key in the queue;
+// dead keys are skipped (and accounted) when they surface and swept out
+// whenever they outnumber live ones, so memory stays O(live events) and
+// pendingEvents() — live keys exactly — can never underflow.
+//
+// Pending event keys {when, seq, slot, gen} sit in a three-tier calendar:
+// an unsorted far pool beyond the current time window, time buckets
+// partitioning the window, and a sorted active run that pops by cursor.
+// Every tier partitions by timestamp and the active run is sorted by the
+// full (when, seq) key, so pop order is the exact total order regardless
+// of window or bucket geometry — determinism is structural, not tuned.
+// Push and pop are amortized O(1) against the heap's O(log n).
+//
+// The hot path (schedule / step) is defined inline in this header: the
+// kernel is the innermost loop of every simulation and benches run
+// without LTO.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hpp"
+#include "util/check.hpp"
 #include "util/time.hpp"
 
 namespace maxmin::sim {
 
-/// Token identifying a scheduled event; usable to cancel it.
-/// Value 0 is reserved and never issued.
+/// Token identifying a scheduled event; usable to cancel it. Packs a slab
+/// slot (low 32 bits) and that slot's generation (high 32 bits); the
+/// generation is bumped whenever the slot's event fires or is cancelled,
+/// so stale handles can never alias a later event. Value 0 is reserved and
+/// never issued (generations start at 1).
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
@@ -30,52 +54,238 @@ class Simulator {
 
   /// Schedule `fn` to run `delay` from now. Zero delay runs after all
   /// events already scheduled for the current instant.
-  EventId schedule(Duration delay, std::function<void()> fn);
+  EventId schedule(Duration delay, EventFn fn) {
+    MAXMIN_CHECK(delay >= Duration::zero());
+    return emplaceEvent(now_ + delay, std::move(fn));
+  }
 
   /// Schedule `fn` at an absolute instant; must not be in the past.
-  EventId scheduleAt(TimePoint when, std::function<void()> fn);
+  EventId scheduleAt(TimePoint when, EventFn fn) {
+    return emplaceEvent(when, std::move(fn));
+  }
 
-  /// Cancel a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a harmless no-op, which lets callers keep stale
-  /// handles without bookkeeping.
-  void cancel(EventId id);
+  /// Cancel a pending event: an O(1) generation bump. Cancelling an
+  /// already-fired, already-cancelled or never-issued id is a harmless
+  /// no-op, which lets callers keep stale handles without bookkeeping
+  /// (and without the kernel accumulating any per-stale-cancel state).
+  void cancel(EventId id) {
+    if (id == kInvalidEventId) return;
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slotCount_) return;  // never issued
+    Record& r = record(slot);
+    // A fired or cancelled event bumped the generation; a reused slot
+    // holds a different generation. Either way the stale handle matches
+    // nothing. A matching generation means the event is pending.
+    if (r.gen != genOf(id)) return;
+    retire(slot);
+    --live_;
+    ++dead_;  // its queue key is now a tombstone; dropped at pop/compact
+    if (dead_ > kCompactMinDead && dead_ > live_) compact();
+  }
 
   /// Execute the single next event. Returns false if the queue is empty.
-  bool step();
+  bool step() {
+    if (!ensureRunFront()) return false;
+    const Key top = run_[runPos_++];
+    MAXMIN_CHECK(top.when >= now_);
+    now_ = top.when;
+    Record& r = record(top.slot);
+    // The run is time-ordered while the slab is allocation-ordered, so the
+    // next record is rarely in cache; overlap its fetch with this callback.
+    if (runPos_ < run_.size()) {
+      __builtin_prefetch(&record(run_[runPos_].slot));
+    }
+    // Bump the generation *before* invoking so outstanding ids (including
+    // a self-cancel from inside the callback) are already stale. Chunked
+    // slab storage never moves, so the callback runs in place — no move
+    // out — and may schedule or cancel freely while it does.
+    ++r.gen;
+    --live_;
+    ++executed_;
+    r.fn();
+    r.fn.reset();
+    r.nextFree = freeHead_;  // freed only now: the callback can't reuse it
+    freeHead_ = top.slot;
+    return true;
+  }
 
   /// Run until the queue drains.
-  void run();
+  void run() {
+    while (step()) {
+    }
+  }
 
   /// Run events with timestamp <= `until`, then set the clock to `until`.
-  void runUntil(TimePoint until);
+  /// The clock never moves backwards: `until` must be >= now().
+  void runUntil(TimePoint until) {
+    MAXMIN_CHECK_MSG(until >= now_,
+                     "runUntil would move the clock backwards: "
+                         << until << " < now " << now_);
+    // Single pop path: step() pops the true next event once
+    // ensureRunFront() has surfaced it at the run cursor.
+    while (ensureRunFront() && run_[runPos_].when <= until) {
+      step();
+    }
+    MAXMIN_CHECK(now_ <= until);  // monotonic: step never overshoots
+    now_ = until;
+  }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pendingEvents() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pendingEvents() const { return live_; }
 
   /// Total events executed since construction (diagnostics / benches).
   std::uint64_t executedEvents() const { return executed_; }
 
  private:
-  struct Entry {
-    TimePoint when;
-    EventId id;
-    std::uint64_t seq;
-    std::function<void()> fn;
+  /// Below this many tombstones, compaction isn't worth the sweep.
+  static constexpr std::size_t kCompactMinDead = 64;
+  static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
+  /// Records per slab chunk. Chunks are allocated once and never move,
+  /// which is what lets step() invoke callbacks in place.
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  /// Slab-resident event record. `gen` is the slot's current generation;
+  /// a queue key is live iff its stored generation matches. Free slots
+  /// are chained through `nextFree`. Exactly one cache line (4 + 4 + 56
+  /// bytes, line-aligned), so touching a record never splits lines.
+  struct alignas(64) Record {
+    std::uint32_t gen = 1;
+    std::uint32_t nextFree = kFreeListEnd;
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  static_assert(sizeof(Record) == 64);
+
+  /// Queue element. Carries the ordering key (when, seq) inline so sorts
+  /// and scans stay within contiguous arrays instead of chasing slab
+  /// pointers, plus the {slot, gen} identity of the event.
+  struct Key {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  /// Pop entries until a live one surfaces; returns false if none remain.
-  bool popLive(Entry& out);
+  static constexpr EventId makeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  static constexpr std::uint32_t slotOf(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static constexpr std::uint32_t genOf(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// (when, seq) lexicographic order. seq is globally unique, so the
+  /// order is total and FIFO within an instant.
+  static bool earlier(const Key& a, const Key& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  Record& record(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  const Record& record(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  bool isLive(const Key& k) const { return record(k.slot).gen == k.gen; }
+
+  /// Allocate a slab slot and move `fn` into it; shared tail of
+  /// schedule()/scheduleAt().
+  EventId emplaceEvent(TimePoint when, EventFn&& fn) {
+    MAXMIN_CHECK_MSG(when >= now_, "event scheduled in the past: "
+                                       << when << " < now " << now_);
+    MAXMIN_CHECK(static_cast<bool>(fn));
+    std::uint32_t slot;
+    if (freeHead_ != kFreeListEnd) {
+      slot = freeHead_;
+      freeHead_ = record(slot).nextFree;
+    } else {
+      MAXMIN_CHECK(slotCount_ < kFreeListEnd - 1);
+      if ((slotCount_ & (kChunkSize - 1)) == 0) {
+        chunks_.emplace_back(new Record[kChunkSize]);
+      }
+      slot = slotCount_++;
+    }
+    Record& r = record(slot);
+    r.fn = std::move(fn);
+    pushKey(Key{when, nextSeq_++, slot, r.gen});
+    ++live_;
+    return makeId(slot, r.gen);
+  }
+
+  /// Bump the slot's generation (invalidating outstanding ids), release
+  /// the callback, return the slot to the free list. Used by cancel();
+  /// step() inlines the same sequence around the in-place invoke.
+  void retire(std::uint32_t slot) {
+    Record& r = record(slot);
+    ++r.gen;
+    r.fn.reset();
+    r.nextFree = freeHead_;
+    freeHead_ = slot;
+  }
+
+  /// Route a key to the tier covering its timestamp.
+  void pushKey(const Key& key) {
+    if (key.when >= windowEnd_) {
+      far_.push_back(key);
+    } else if (key.when >= runEnd_) {
+      buckets_[bucketIndex(key.when)].push_back(key);
+    } else {
+      insertIntoRun(key);
+    }
+  }
+
+  std::size_t bucketIndex(TimePoint when) const {
+    return static_cast<std::size_t>((when - windowStart_).asMicros() /
+                                    bucketWidthUs_);
+  }
+
+  /// Advance tiers until the next live key sits at run_[runPos_].
+  /// Returns false when no live events remain.
+  bool ensureRunFront() {
+    for (;;) {
+      while (runPos_ < run_.size()) {
+        if (isLive(run_[runPos_])) return true;
+        ++runPos_;  // drop tombstone
+        --dead_;
+      }
+      if (live_ == 0) {
+        resetTiers();
+        return false;
+      }
+      refillRun();  // a refilled run may still lead with tombstones
+    }
+  }
+
+  void insertIntoRun(const Key& key);
+  void refillRun();
+  void rebuildWindow();
+  void resetTiers();
+  void compact();
 
   TimePoint now_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  EventId nextId_ = 1;
+  std::vector<std::unique_ptr<Record[]>> chunks_;  ///< stable slab storage
+  std::uint32_t slotCount_ = 0;            ///< slots handed out so far
+  std::uint32_t freeHead_ = kFreeListEnd;  ///< head of the free-slot chain
+
+  // --- calendar tiers ------------------------------------------------------
+  // Invariant time partition: run_ covers [now_, runEnd_), buckets_ cover
+  // [windowStart_, windowEnd_) beyond the run, far_ covers [windowEnd_, inf).
+  std::vector<Key> run_;    ///< sorted active run; popped via runPos_
+  std::size_t runPos_ = 0;  ///< cursor into run_
+  TimePoint runEnd_;        ///< run_ holds every pending key before this
+  std::vector<std::vector<Key>> buckets_;  ///< unsorted per-interval keys
+  std::size_t nextBucket_ = 0;             ///< first bucket not yet drained
+  TimePoint windowStart_;
+  TimePoint windowEnd_;  ///< == windowStart_ when no window is active
+  std::int64_t bucketWidthUs_ = 1;
+  std::vector<Key> far_;  ///< unsorted keys at/after windowEnd_
+
+  std::size_t live_ = 0;  ///< pending (non-cancelled) events
+  std::size_t dead_ = 0;  ///< tombstone keys still in some tier
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
 };

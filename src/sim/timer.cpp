@@ -6,27 +6,32 @@
 
 namespace maxmin::sim {
 
-void Timer::arm(Duration delay, std::function<void()> fn) {
+void Timer::arm(Duration delay, EventFn fn) {
   cancel();
-  id_ = sim_->schedule(delay, [this, fn = std::move(fn)] {
-    id_ = kInvalidEventId;  // clear before user code so it may re-arm
-    fn();
-  });
+  fn_ = std::move(fn);
+  id_ = sim_->schedule(delay, [this] { fire(); });
+}
+
+void Timer::fire() {
+  id_ = kInvalidEventId;  // clear before user code so it may re-arm
+  EventFn fn = std::move(fn_);
+  fn();
 }
 
 void Timer::cancel() {
   if (id_ != kInvalidEventId) {
     sim_->cancel(id_);
     id_ = kInvalidEventId;
+    fn_.reset();
   }
 }
 
-void PeriodicTimer::start(Duration period, std::function<void()> fn) {
+void PeriodicTimer::start(Duration period, EventFn fn) {
   start(period, period, std::move(fn));
 }
 
 void PeriodicTimer::start(Duration initialDelay, Duration period,
-                          std::function<void()> fn) {
+                          EventFn fn) {
   MAXMIN_CHECK(period > Duration::zero());
   period_ = period;
   fn_ = std::move(fn);

@@ -2,11 +2,11 @@
 //
 // A Timer owns its pending event: destroying or restarting it cancels the
 // previous schedule, which removes the classic dangling-callback hazard of
-// raw schedule()/cancel() pairs.
+// raw schedule()/cancel() pairs. The callback lives in the Timer itself;
+// the kernel only ever sees a one-pointer thunk, so arming never allocates.
 #pragma once
 
-#include <functional>
-
+#include "sim/event_fn.hpp"
 #include "sim/simulator.hpp"
 
 namespace maxmin::sim {
@@ -20,15 +20,18 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
 
   /// (Re)arm to fire `delay` from now. A pending schedule is cancelled.
-  void arm(Duration delay, std::function<void()> fn);
+  void arm(Duration delay, EventFn fn);
 
   void cancel();
 
   bool pending() const { return id_ != kInvalidEventId; }
 
  private:
+  void fire();
+
   Simulator* sim_;
   EventId id_ = kInvalidEventId;
+  EventFn fn_;
 };
 
 /// Fixed-interval periodic timer. The callback runs once per period until
@@ -38,10 +41,10 @@ class PeriodicTimer {
   explicit PeriodicTimer(Simulator& sim) : timer_{sim}, sim_{&sim} {}
 
   /// Start with the first firing `period` from now.
-  void start(Duration period, std::function<void()> fn);
+  void start(Duration period, EventFn fn);
 
   /// Start with the first firing after `initialDelay`, then every `period`.
-  void start(Duration initialDelay, Duration period, std::function<void()> fn);
+  void start(Duration initialDelay, Duration period, EventFn fn);
 
   void stop() { timer_.cancel(); }
 
@@ -53,7 +56,7 @@ class PeriodicTimer {
   Timer timer_;
   Simulator* sim_;
   Duration period_ = Duration::zero();
-  std::function<void()> fn_;
+  EventFn fn_;
 };
 
 }  // namespace maxmin::sim

@@ -31,11 +31,15 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double WindowedCounter::closeWindow(TimePoint windowStart, TimePoint now) {
-  MAXMIN_CHECK(now > windowStart);
-  const double seconds = (now - windowStart).asSeconds();
-  const double rate = static_cast<double>(count_) / seconds;
+  MAXMIN_CHECK(now >= windowStart);
+  const std::int64_t count = count_;
   count_ = 0;
-  return rate;
+  // A zero-length window (e.g. a measurement period cut short by node
+  // departure or a runUntil landing exactly on the period boundary) has no
+  // meaningful rate; report 0 rather than dividing by zero.
+  if (now == windowStart) return 0.0;
+  const double seconds = (now - windowStart).asSeconds();
+  return static_cast<double>(count) / seconds;
 }
 
 void BusyTimeAccumulator::set(bool on, TimePoint now) {

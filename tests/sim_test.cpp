@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -104,6 +107,126 @@ TEST(Simulator, EventsCanScheduleEvents) {
   EXPECT_EQ(depth, 5);
   EXPECT_EQ(s.now().asMicros(), 5);
   EXPECT_EQ(s.executedEvents(), 5u);
+}
+
+// Regression: cancelling an already-fired event used to insert its id into
+// the kernel's tombstone set forever (a leak) and double-cancel could drive
+// the pending-event count negative. With generation ids both are no-ops.
+TEST(Simulator, CancelAfterFireNeitherLeaksNorUnderflows) {
+  Simulator s;
+  const EventId id = s.schedule(Duration::micros(1), [] {});
+  s.run();
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  s.cancel(id);
+  s.cancel(id);  // idempotent
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  // The queue must still work normally afterwards.
+  bool fired = false;
+  s.schedule(Duration::micros(1), [&] { fired = true; });
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelOfNeverIssuedIdIsNoOp) {
+  Simulator s;
+  s.cancel(kInvalidEventId);
+  s.cancel(0xdeadbeefcafe1234ull);  // slot far beyond anything allocated
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  bool fired = false;
+  s.schedule(Duration::micros(1), [&] { fired = true; });
+  s.cancel(0xdeadbeefcafe1234ull);
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+// A stale handle must not cancel an unrelated later event that happens to
+// reuse the same slab slot.
+TEST(Simulator, StaleIdCannotCancelReusedSlot) {
+  Simulator s;
+  const EventId first = s.schedule(Duration::micros(1), [] {});
+  s.run();  // fires; its slot returns to the free list
+  bool fired = false;
+  s.schedule(Duration::micros(1), [&] { fired = true; });  // reuses the slot
+  s.cancel(first);  // stale generation: must not touch the new event
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, HeavyCancellationKeepsCountsExact) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(s.schedule(Duration::micros(i % 997), [] {}));
+  }
+  // Cancel two thirds, some twice, to force compaction sweeps.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 != 0) s.cancel(ids[i]);
+    if (i % 6 == 1) s.cancel(ids[i]);
+  }
+  EXPECT_EQ(s.pendingEvents(), 3334u);
+  s.run();
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  EXPECT_EQ(s.executedEvents(), 3334u);
+}
+
+TEST(Simulator, RunUntilNowWithPendingSameInstantEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Duration::zero(), [&] { ++fired; });
+  s.schedule(Duration::zero(), [&] { ++fired; });
+  s.schedule(Duration::micros(5), [&] { ++fired; });
+  s.runUntil(s.now());  // zero-length window: runs the t=0 events only
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now().asMicros(), 0);
+  s.runUntil(TimePoint{} + Duration::micros(5));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now().asMicros(), 5);
+}
+
+TEST(Simulator, FifoPreservedAcrossWindowRebuilds) {
+  // Schedule batches far enough apart that the calendar queue rebuilds
+  // its window between them; FIFO within each instant must survive.
+  Simulator s;
+  std::vector<int> order;
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 7; ++i) {
+      s.schedule(Duration::millis(batch * 100), [&order, batch, i] {
+        order.push_back(batch * 7 + i);
+      });
+    }
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 35u);
+  for (int i = 0; i < 35; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventFn, OversizedCaptureFallsBackToHeap) {
+  // 64 bytes of capture exceeds EventFn's 48-byte inline budget; the
+  // callable must still work (via the owning-pointer fallback).
+  Simulator s;
+  std::array<std::uint64_t, 8> payload{};
+  payload.fill(41);
+  std::uint64_t seen = 0;
+  s.schedule(Duration::micros(1),
+             [payload, &seen] { seen = payload[7] + 1; });
+  s.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventFn, MoveOnlyCaptureWorks) {
+  Simulator s;
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  s.schedule(Duration::micros(1),
+             [p = std::move(owned), &seen] { seen = *p; });
+  s.run();
+  EXPECT_EQ(seen, 7);
 }
 
 TEST(Timer, ArmAndFire) {

@@ -69,6 +69,29 @@ TEST(WindowedCounter, RatePerSecond) {
   EXPECT_EQ(c.pending(), 0);
 }
 
+// Regression: a zero-length window used to trip MAXMIN_CHECK (and, before
+// that, divide by zero). It now reports a zero rate and still resets the
+// counter so the next window starts clean.
+TEST(WindowedCounter, ZeroLengthWindowYieldsZeroRate) {
+  WindowedCounter c;
+  c.add(25);
+  const TimePoint t = TimePoint::origin() + Duration::seconds(3.0);
+  EXPECT_DOUBLE_EQ(c.closeWindow(t, t), 0.0);
+  EXPECT_EQ(c.pending(), 0);  // counter reset despite the degenerate window
+  c.add(8);
+  EXPECT_DOUBLE_EQ(c.closeWindow(t, t + Duration::seconds(2.0)), 4.0);
+}
+
+TEST(Duration, SecondsTruncatesTowardZero) {
+  // Sub-microsecond fractions truncate (cast semantics), both signs.
+  EXPECT_EQ(Duration::seconds(1.5e-6).asMicros(), 1);
+  EXPECT_EQ(Duration::seconds(0.9999e-6).asMicros(), 0);
+  EXPECT_EQ(Duration::seconds(-1.5e-6).asMicros(), -1);
+  EXPECT_EQ(Duration::seconds(-0.25e-6).asMicros(), 0);
+  EXPECT_EQ(Duration::seconds(-2.0).asMicros(), -2000000);
+  EXPECT_EQ(Duration::seconds(0.0).asMicros(), 0);
+}
+
 TEST(BusyTimeAccumulator, FractionAccounting) {
   BusyTimeAccumulator acc;
   const TimePoint t0 = TimePoint::origin();
@@ -118,6 +141,15 @@ TEST(FairnessIndices, MaxminIndex) {
   EXPECT_DOUBLE_EQ(maxminIndex({}), 1.0);
   EXPECT_DOUBLE_EQ(maxminIndex({0.0, 0.0}), 1.0);
   EXPECT_DOUBLE_EQ(maxminIndex({0.0, 5.0}), 0.0);
+}
+
+TEST(FairnessIndices, SingleFlowIsPerfectlyFair) {
+  // A one-flow network is trivially fair under both indices, including
+  // the degenerate zero-rate flow.
+  EXPECT_DOUBLE_EQ(jainIndex({123.4}), 1.0);
+  EXPECT_DOUBLE_EQ(maxminIndex({123.4}), 1.0);
+  EXPECT_DOUBLE_EQ(jainIndex({0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(maxminIndex({0.0}), 1.0);
 }
 
 TEST(Table, RendersAlignedColumnsAndCsv) {

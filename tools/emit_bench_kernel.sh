@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the event-queue microbenchmarks and emit BENCH_kernel.json — the
+# kernel performance trajectory artifact. Run after any change to
+# src/sim/ and commit the refreshed JSON alongside it. Usage:
+#
+#   tools/emit_bench_kernel.sh [build-dir] [output.json]
+#
+# Defaults: build/ and BENCH_kernel.json at the repo root. The JSON is
+# google-benchmark's machine-readable format (context block with host
+# info + one record per benchmark, items_per_second included).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernel.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_micro" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_micro not built" >&2
+  echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target bench_micro" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_filter='BM_Event(QueueScheduleRun|QueueSteadyState|QueueSameInstantBursts|Cancellation)' \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT"
+
+echo "wrote $OUT"

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "analysis/experiment.hpp"
+#include "exp/sweep.hpp"
 #include "scenarios/scenarios.hpp"
 #include "util/table.hpp"
 
@@ -37,6 +38,10 @@ struct Options {
   int flows = 5;        // mesh only
   double area = 1000.0; // mesh only
   bool csv = false;
+  bool sweep = false;     // run a seed sweep instead of a single run
+  int runs = 16;          // sweep size (seeds seed..seed+runs-1)
+  int jobs = 0;           // sweep worker threads; 0 = hardware concurrency
+  std::string json;       // sweep only: write full JSON report here
   std::string faults;     // file path or inline script; empty = none
   double per = 0.0;       // uniform per-frame loss probability
   std::string ge;         // "pGoodToBad:pBadToGood:lossBad"
@@ -53,6 +58,10 @@ struct Options {
       << "  --seed      integer                               (default 7)\n"
       << "  --nodes/--flows/--area   random-mesh parameters\n"
       << "  --csv       emit CSV instead of a table\n"
+      << "  --sweep     run a multi-seed sweep (seeds seed..seed+runs-1)\n"
+      << "  --runs      sweep size                            (default 16)\n"
+      << "  --jobs      sweep worker threads; 0 = all cores   (default 0)\n"
+      << "  --json      sweep only: write the full JSON report to this file\n"
       << "  --faults    fault script: a file path, or inline text like\n"
       << "              \"crash 1 60; recover 1 100\" (see sim/fault_plane.hpp)\n"
       << "  --per       uniform per-frame loss probability      (default 0)\n"
@@ -87,6 +96,14 @@ Options parse(int argc, char** argv) {
       o.area = std::stod(value());
     } else if (arg == "--csv") {
       o.csv = true;
+    } else if (arg == "--sweep") {
+      o.sweep = true;
+    } else if (arg == "--runs") {
+      o.runs = std::stoi(value());
+    } else if (arg == "--jobs") {
+      o.jobs = std::stoi(value());
+    } else if (arg == "--json") {
+      o.json = value();
     } else if (arg == "--faults") {
       o.faults = value();
     } else if (arg == "--per") {
@@ -169,6 +186,87 @@ analysis::Protocol pickProtocol(const Options& o) {
   std::exit(2);
 }
 
+int runSweep(const scenarios::Scenario& scenario,
+             const analysis::RunConfig& base, const Options& options) {
+  if (options.runs <= 0) {
+    std::cerr << "--runs must be positive\n";
+    return 2;
+  }
+  // A mesh scenario is itself seed-derived: regenerate the topology per
+  // seed so the sweep samples topologies, not just MAC/arrival noise.
+  std::vector<exp::SweepJob> jobs;
+  if (options.scenario == "mesh") {
+    for (int i = 0; i < options.runs; ++i) {
+      exp::SweepJob job;
+      job.config = base;
+      job.config.seed = base.seed + static_cast<std::uint64_t>(i);
+      job.scenario = scenarios::randomMesh(job.config.seed, options.nodes,
+                                           options.area, options.flows);
+      job.label = job.scenario.name + "/" +
+                  analysis::protocolName(base.protocol) +
+                  "/seed=" + std::to_string(job.config.seed);
+      jobs.push_back(std::move(job));
+    }
+  } else {
+    jobs = exp::seedGrid(scenario, base, options.runs);
+  }
+
+  const exp::SweepRunner runner{options.jobs};
+  const auto outcomes = runner.runAll(jobs);
+  const auto summary = exp::summarize(outcomes);
+
+  Table perRun({"run", "seed", "I_mm", "I_eq", "U_pkt_hops_per_s",
+                "queue_drops", "wall_s"});
+  for (const auto& o : outcomes) {
+    if (o.ok) {
+      perRun.addRow({o.label, std::to_string(o.seed),
+                     Table::num(o.result.summary.imm, 4),
+                     Table::num(o.result.summary.ieq, 4),
+                     Table::num(o.result.summary.effectiveThroughputPps),
+                     std::to_string(o.result.queueDrops),
+                     Table::num(o.wallSeconds, 2)});
+    } else {
+      perRun.addRow({o.label, std::to_string(o.seed), "FAIL", "-", "-", "-",
+                     Table::num(o.wallSeconds, 2)});
+    }
+  }
+  Table agg({"metric", "mean", "stddev", "min", "max"});
+  const auto statRow = [&agg](const std::string& name,
+                              const RunningStats& st) {
+    agg.addRow({name, Table::num(st.mean(), 4), Table::num(st.stddev(), 4),
+                Table::num(st.min(), 4), Table::num(st.max(), 4)});
+  };
+  statRow("I_mm", summary.imm);
+  statRow("I_eq", summary.ieq);
+  statRow("U_pkt_hops_per_s", summary.throughputPps);
+  statRow("queue_drops", summary.queueDrops);
+  statRow("wall_s", summary.wallSeconds);
+
+  if (options.csv) {
+    perRun.printCsv(std::cout);
+    std::cout << '\n';
+    agg.printCsv(std::cout);
+  } else {
+    perRun.print(std::cout);
+    std::cout << '\n' << summary.total - summary.failed << '/' << summary.total
+              << " runs ok, " << runner.jobs() << " jobs\n\n";
+    agg.print(std::cout);
+  }
+  for (const auto& o : outcomes) {
+    if (!o.ok) std::cerr << o.label << ": " << o.error << '\n';
+  }
+
+  if (!options.json.empty()) {
+    std::ofstream out{options.json};
+    if (!out) {
+      std::cerr << "cannot write " << options.json << '\n';
+      return 2;
+    }
+    exp::writeJson(out, outcomes, summary);
+  }
+  return summary.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +284,8 @@ int main(int argc, char** argv) {
   }
   if (!options.faults.empty()) cfg.faults = loadFaultScript(options.faults);
   cfg.netBase.impairments = makeImpairments(options);
+
+  if (options.sweep) return runSweep(scenario, cfg, options);
 
   analysis::RunResult result;
   try {
