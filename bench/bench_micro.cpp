@@ -30,7 +30,7 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
     Rng rng{42};
     int fired = 0;
     for (int i = 0; i < n; ++i) {
-      sim.schedule(Duration::micros(rng.uniformInt(0, 1000000)),
+      sim.post(Duration::micros(rng.uniformInt(0, 1000000)),
                    [&fired] { ++fired; });
     }
     sim.run();
@@ -56,13 +56,13 @@ void BM_EventQueueSteadyState(benchmark::State& state) {
       ++fired;
       if (fired + static_cast<std::int64_t>(sim.pendingEvents()) <
           kFiresPerIter) {
-        sim.schedule(Duration::micros(rng.uniformInt(1, 10000)), [&] {
+        sim.post(Duration::micros(rng.uniformInt(1, 10000)), [&] {
           chain();
         });
       }
     };
     for (int i = 0; i < population; ++i) {
-      sim.schedule(Duration::micros(rng.uniformInt(1, 10000)),
+      sim.post(Duration::micros(rng.uniformInt(1, 10000)),
                    [&] { chain(); });
     }
     state.ResumeTiming();
@@ -84,7 +84,7 @@ void BM_EventQueueSameInstantBursts(benchmark::State& state) {
     int fired = 0;
     for (int b = 0; b < kBursts; ++b) {
       for (int i = 0; i < kPerBurst; ++i) {
-        sim.schedule(Duration::millis(b), [&fired] { ++fired; });
+        sim.post(Duration::millis(b), [&fired] { ++fired; });
       }
     }
     sim.run();

@@ -37,7 +37,7 @@ struct DisruptionReport {
   double dipIeq = 1.0;
   int dipPeriod = -1;
   /// How far fairness fell: baselineIeq - dipIeq (>= 0 in practice).
-  double dipDepth() const { return baselineIeq - dipIeq; }
+  [[nodiscard]] double dipDepth() const { return baselineIeq - dipIeq; }
   /// First period at/after recovery (or the fault, when permanent) with
   /// I_eq >= reconvergeIeq; -1 if the run never got back.
   int reconvergedAtPeriod = -1;

@@ -69,7 +69,7 @@ struct RunResult {
   std::int64_t staleMeasurementsUsed = 0;  ///< controller TTL substitutions
   std::int64_t limitsRestored = 0;         ///< post-recovery limit restores
 
-  double rateOf(net::FlowId id) const;
+  [[nodiscard]] double rateOf(net::FlowId id) const;
 };
 
 RunResult runScenario(const scenarios::Scenario& scenario,

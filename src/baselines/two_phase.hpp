@@ -51,9 +51,9 @@ class TwoPhaseAllocator {
                     double cliqueCapacityPps,
                     double basicShareConservatism = 0.5);
 
-  TwoPhaseAllocation allocate() const;
+  [[nodiscard]] TwoPhaseAllocation allocate() const;
 
-  int numCliques() const { return static_cast<int>(cliques_.size()); }
+  [[nodiscard]] int numCliques() const { return static_cast<int>(cliques_.size()); }
 
  private:
   std::vector<net::FlowSpec> flows_;

@@ -49,9 +49,9 @@ class SweepRunner {
  public:
   explicit SweepRunner(int jobs);
 
-  std::vector<SweepOutcome> runAll(const std::vector<SweepJob>& jobs) const;
+  [[nodiscard]] std::vector<SweepOutcome> runAll(const std::vector<SweepJob>& jobs) const;
 
-  int jobs() const { return jobs_; }
+  [[nodiscard]] int jobs() const { return jobs_; }
 
  private:
   int jobs_;

@@ -26,7 +26,7 @@ class FluidGmpHarness {
   }
 
  private:
-  gmp::Snapshot buildSnapshot(const FluidState& state) const;
+  [[nodiscard]] gmp::Snapshot buildSnapshot(const FluidState& state) const;
 
   FluidNetwork& network_;
   gmp::GmpParams params_;

@@ -44,15 +44,15 @@ class FluidNetwork {
                double cliqueCapacityPps);
 
   /// Steady state under the current rate limits.
-  FluidState evaluate() const;
+  [[nodiscard]] FluidState evaluate() const;
 
   void setRateLimit(net::FlowId id, std::optional<double> pps);
-  std::optional<double> rateLimit(net::FlowId id) const;
+  [[nodiscard]] std::optional<double> rateLimit(net::FlowId id) const;
 
   const std::vector<net::FlowSpec>& flows() const { return flows_; }
   const std::vector<std::vector<topo::NodeId>>& paths() const { return paths_; }
   const gmp::ContentionStructure& contention() const { return contention_; }
-  double cliqueCapacity() const { return capacity_; }
+  [[nodiscard]] double cliqueCapacity() const { return capacity_; }
 
  private:
   std::vector<net::FlowSpec> flows_;

@@ -38,7 +38,7 @@ class Controller {
     for (auto& t : skewTimers_) t->cancel();
   }
 
-  int periodsRun() const { return periods_; }
+  [[nodiscard]] int periodsRun() const { return periods_; }
   const DecisionReport& lastReport() const { return lastReport_; }
   const Snapshot& lastSnapshot() const { return lastSnapshot_; }
   const ContentionStructure& contention() const { return contention_; }
@@ -62,11 +62,11 @@ class Controller {
   // --- robustness diagnostics (fault runs; all zero otherwise) -------------
   /// Periods in which a down node's cached measurement stood in for a
   /// missing one (within the staleness TTL).
-  std::int64_t staleMeasurementsUsed() const { return staleMeasurementsUsed_; }
+  [[nodiscard]] std::int64_t staleMeasurementsUsed() const { return staleMeasurementsUsed_; }
   /// Rate limits restored to their pre-fault value after a path recovered.
-  std::int64_t limitsRestored() const { return limitsRestored_; }
+  [[nodiscard]] std::int64_t limitsRestored() const { return limitsRestored_; }
   /// Periods whose measurement closes were staggered by clock skew.
-  std::int64_t skewedPeriods() const { return skewedPeriods_; }
+  [[nodiscard]] std::int64_t skewedPeriods() const { return skewedPeriods_; }
 
  private:
   void tick();

@@ -74,11 +74,11 @@ class LinkStateDissemination {
   /// compact entries); determines the broadcast airtime.
   static DataSize messageSize(std::size_t states);
 
-  std::int64_t messagesSent() const { return messagesSent_; }
-  std::int64_t rebroadcasts() const { return rebroadcasts_; }
-  std::int64_t duplicatesDropped() const { return duplicatesDropped_; }
-  std::int64_t staleDropped() const { return staleDropped_; }
-  std::int64_t rebootAccepts() const { return rebootAccepts_; }
+  [[nodiscard]] std::int64_t messagesSent() const { return messagesSent_; }
+  [[nodiscard]] std::int64_t rebroadcasts() const { return rebroadcasts_; }
+  [[nodiscard]] std::int64_t duplicatesDropped() const { return duplicatesDropped_; }
+  [[nodiscard]] std::int64_t staleDropped() const { return staleDropped_; }
+  [[nodiscard]] std::int64_t rebootAccepts() const { return rebootAccepts_; }
 
   /// How long a receiver trusts its recorded per-origin sequence high
   /// water mark. After this long without hearing the origin, any
@@ -86,7 +86,7 @@ class LinkStateDissemination {
   /// that rebooted (and restarted at seq 0) re-enters the network
   /// despite receivers holding a higher stale seq.
   void setFreshnessTtl(Duration ttl) { freshnessTtl_ = ttl; }
-  Duration freshnessTtl() const { return freshnessTtl_; }
+  [[nodiscard]] Duration freshnessTtl() const { return freshnessTtl_; }
 
   /// Test hooks: place an origin's counter near wraparound, or reset it
   /// to simulate a reboot that lost the counter.

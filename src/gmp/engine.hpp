@@ -28,7 +28,7 @@ struct ContentionStructure {
   static ContentionStructure build(const topo::Topology& topo,
                                    std::vector<topo::Link> links);
 
-  int linkIndex(topo::Link l) const;
+  [[nodiscard]] int linkIndex(topo::Link l) const;
 };
 
 class Engine {
@@ -38,7 +38,7 @@ class Engine {
   const GmpParams& params() const { return params_; }
 
   /// Run one adjustment period against the measured snapshot.
-  DecisionReport decide(const Snapshot& snapshot) const;
+  [[nodiscard]] DecisionReport decide(const Snapshot& snapshot) const;
 
  private:
   struct Request {
@@ -57,10 +57,10 @@ class Engine {
   /// Strip everything touched by stale nodes / impaired flows so the
   /// condition checks never act on ghost measurements; the dropped flows
   /// are handled by decayImpairedFlows instead.
-  Snapshot filterDegraded(const Snapshot& s) const;
+  [[nodiscard]] Snapshot filterDegraded(const Snapshot& s) const;
   void decayImpairedFlows(const Snapshot& s, DecisionReport& report) const;
 
-  double adjustBase(const FlowState& f) const;
+  [[nodiscard]] double adjustBase(const FlowState& f) const;
 
   ContentionStructure contention_;
   GmpParams params_;

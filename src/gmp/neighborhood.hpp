@@ -39,7 +39,7 @@ struct LocalView {
   std::vector<topo::Clique> cliques;
 
   /// Member links of clique `index`, resolved to Link values.
-  std::vector<topo::Link> cliqueLinks(int index) const;
+  [[nodiscard]] std::vector<topo::Link> cliqueLinks(int index) const;
 };
 
 /// Build node `self`'s local view over the network's active links.

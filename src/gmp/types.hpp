@@ -40,9 +40,9 @@ class BetaCompare {
  public:
   explicit BetaCompare(double beta);
 
-  double beta() const { return beta_; }
-  bool equal(double a, double b) const;
-  bool smaller(double a, double b) const { return a < b && !equal(a, b); }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] bool equal(double a, double b) const;
+  [[nodiscard]] bool smaller(double a, double b) const { return a < b && !equal(a, b); }
 
  private:
   double beta_;
@@ -58,7 +58,7 @@ struct VirtualLinkKey {
   friend auto operator<=>(const VirtualLinkKey&, const VirtualLinkKey&) =
       default;
 
-  topo::Link wireless() const { return topo::Link{from, to}; }
+  [[nodiscard]] topo::Link wireless() const { return topo::Link{from, to}; }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const VirtualLinkKey& k) {
@@ -84,7 +84,7 @@ struct FlowState {
   double ratePps = 0.0;  ///< r(f) measured at the source this period
   std::optional<double> limitPps;
 
-  double mu() const { return ratePps / weight; }
+  [[nodiscard]] double mu() const { return ratePps / weight; }
 };
 
 /// Per-period state of one wireless link, as disseminated 2 hops.
@@ -111,7 +111,7 @@ struct Snapshot {
   /// ghosts, so the engine falls back to conservative rate-limit decay.
   std::set<net::FlowId> impairedFlows;
 
-  bool degraded() const {
+  [[nodiscard]] bool degraded() const {
     return !staleNodes.empty() || !impairedFlows.empty();
   }
 };
@@ -136,7 +136,7 @@ struct DecisionReport {
   int limitsRemoved = 0;
   int staleDecays = 0;  ///< conservative decays of flows on stale paths
 
-  bool conditionsSatisfied() const {
+  [[nodiscard]] bool conditionsSatisfied() const {
     return sourceBufferViolations == 0 && bandwidthViolations == 0;
   }
 };

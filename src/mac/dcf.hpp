@@ -57,7 +57,7 @@ class Dcf final : public phys::RadioListener {
   void enqueueBroadcast(std::shared_ptr<const phys::ControlMessage> message,
                         DataSize sizeBytes);
 
-  topo::NodeId self() const { return self_; }
+  [[nodiscard]] topo::NodeId self() const { return self_; }
   const MacParams& params() const { return params_; }
   const DcfCounters& counters() const { return counters_; }
 
@@ -84,7 +84,7 @@ class Dcf final : public phys::RadioListener {
   };
 
   // --- channel state -----------------------------------------------------
-  bool virtuallyBusy() const;
+  [[nodiscard]] bool virtuallyBusy() const;
   void refreshChannelState();   ///< maintain idleSince_ and freeze/resume
   void armWakeTimer();          ///< wake at NAV/EIFS expiry
   void freezeBackoff();

@@ -28,42 +28,42 @@ struct MacParams {
   int shortRetryLimit = 7;  // RTS attempts
   int longRetryLimit = 4;   // DATA attempts
 
-  Duration difs() const { return sifs + slotTime + slotTime; }
+  [[nodiscard]] Duration difs() const { return sifs + slotTime + slotTime; }
 
   /// Deferral after a corrupted reception (802.11 EIFS):
   /// SIFS + ACK-at-basic-rate + DIFS.
-  Duration eifs() const { return sifs + ackDuration() + difs(); }
+  [[nodiscard]] Duration eifs() const { return sifs + ackDuration() + difs(); }
 
-  Duration rtsDuration() const { return plcpOverhead + basicRate.txTime(rtsBytes); }
-  Duration ctsDuration() const { return plcpOverhead + basicRate.txTime(ctsBytes); }
-  Duration ackDuration() const { return plcpOverhead + basicRate.txTime(ackBytes); }
-  Duration dataDuration(DataSize payload) const {
+  [[nodiscard]] Duration rtsDuration() const { return plcpOverhead + basicRate.txTime(rtsBytes); }
+  [[nodiscard]] Duration ctsDuration() const { return plcpOverhead + basicRate.txTime(ctsBytes); }
+  [[nodiscard]] Duration ackDuration() const { return plcpOverhead + basicRate.txTime(ackBytes); }
+  [[nodiscard]] Duration dataDuration(DataSize payload) const {
     return plcpOverhead + dataRate.txTime(payload + macHeaderBytes);
   }
 
   /// NAV reservation carried by an RTS: the rest of the four-way exchange.
-  Duration rtsNav(DataSize payload) const {
+  [[nodiscard]] Duration rtsNav(DataSize payload) const {
     return sifs + ctsDuration() + sifs + dataDuration(payload) + sifs +
            ackDuration();
   }
-  Duration ctsNav(DataSize payload) const {
+  [[nodiscard]] Duration ctsNav(DataSize payload) const {
     return sifs + dataDuration(payload) + sifs + ackDuration();
   }
-  Duration dataNav() const { return sifs + ackDuration(); }
+  [[nodiscard]] Duration dataNav() const { return sifs + ackDuration(); }
 
   /// How long a sender waits for the expected response before declaring a
   /// timeout (response start is one SIFS after our frame; allow two slots
   /// of slack).
-  Duration ctsTimeout() const {
+  [[nodiscard]] Duration ctsTimeout() const {
     return sifs + ctsDuration() + slotTime + slotTime;
   }
-  Duration ackTimeout() const {
+  [[nodiscard]] Duration ackTimeout() const {
     return sifs + ackDuration() + slotTime + slotTime;
   }
 
   /// Total channel airtime of one successful four-way exchange, including
   /// the SIFS gaps. Used for channel-occupancy accounting.
-  Duration exchangeAirtime(DataSize payload) const {
+  [[nodiscard]] Duration exchangeAirtime(DataSize payload) const {
     return rtsDuration() + rtsNav(payload);
   }
 };

@@ -4,6 +4,13 @@
 // full-fractions, the packets it forwarded on its downstream virtual
 // links, the packets it received on upstream virtual links, and its local
 // flows' admitted rates.
+//
+// Sorted report types by design: the GMP control plane iterates these
+// maps when it rebuilds virtual-link state, and that iteration order
+// feeds the deterministic maxmin computation. Nodes accumulate into
+// hashed maps on the packet path (NodeStack::LinkAccumulator) and convert
+// here once per period.
+// maxmin-lint: allow-file(hot-map) sorted report/wire format, built once per period
 #pragma once
 
 #include <map>

@@ -139,7 +139,8 @@ void Network::setSourceMu(FlowId id, double mu) {
 std::int64_t Network::delivered(FlowId id) const { return delivered_.at(id); }
 
 Network::DeliverySnapshot Network::snapshotDeliveries() const {
-  return DeliverySnapshot{sim_.now(), delivered_};
+  return DeliverySnapshot{sim_.now(),
+                          {delivered_.begin(), delivered_.end()}};
 }
 
 std::map<FlowId, double> Network::ratesBetween(const DeliverySnapshot& from,

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mac/dcf.hpp"
@@ -19,6 +20,7 @@
 #include "sim/fault_plane.hpp"
 #include "sim/simulator.hpp"
 #include "topology/link.hpp"
+#include "util/hash.hpp"
 #include "util/stats.hpp"
 #include "topology/routing.hpp"
 #include "topology/topology.hpp"
@@ -90,11 +92,15 @@ class Network final : public NetContext, public sim::FaultListener {
 
   struct DeliverySnapshot {
     TimePoint at;
+    /// Sorted report type: snapshots are diffed and printed in flow order.
+    // maxmin-lint: allow(hot-map) report type, copied once per snapshot
     std::map<FlowId, std::int64_t> counts;
   };
   DeliverySnapshot snapshotDeliveries() const;
 
   /// Per-flow delivered packet rate (pkts/s) between two snapshots.
+  /// Sorted so tables/CSVs iterate in flow order.
+  // maxmin-lint: allow(hot-map) report type, built once per interval
   static std::map<FlowId, double> ratesBetween(const DeliverySnapshot& from,
                                                const DeliverySnapshot& to);
 
@@ -121,9 +127,11 @@ class Network final : public NetContext, public sim::FaultListener {
   std::unique_ptr<sim::FaultPlane> faultPlane_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
   std::vector<std::unique_ptr<mac::Dcf>> macs_;
-  std::map<topo::NodeId, topo::RoutingTree> routes_;
-  std::map<FlowId, std::int64_t> delivered_;
-  std::map<FlowId, RunningStats> latencySeconds_;
+  // Hashed: nextHop() runs per forwarded packet, recordDelivery() per
+  // delivered packet. Report forms (DeliverySnapshot, ratesBetween) sort.
+  std::unordered_map<topo::NodeId, topo::RoutingTree, IdHash> routes_;
+  std::unordered_map<FlowId, std::int64_t, IdHash> delivered_;
+  std::unordered_map<FlowId, RunningStats, IdHash> latencySeconds_;
 };
 
 }  // namespace maxmin::net

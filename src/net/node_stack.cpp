@@ -208,7 +208,9 @@ const SourceCounters& NodeStack::sourceCounters(FlowId flow) const {
 
 std::vector<FlowId> NodeStack::localFlows() const {
   std::vector<FlowId> ids;
+  ids.reserve(sources_.size());
   for (const auto& [id, s] : sources_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
@@ -237,7 +239,11 @@ void NodeStack::setOperational(bool up) {
     upSample_.clear();
     admittedInWindow_.clear();
   } else {
-    for (auto& [id, s] : sources_) scheduleNextGeneration(s);
+    // Sorted flow order: each restart draws jitter from rng_, so the
+    // iteration order is part of the deterministic replay.
+    for (const FlowId id : localFlows()) {
+      scheduleNextGeneration(sources_.at(id));
+    }
     if (mac_ != nullptr) mac_->notifyTrafficPending();
   }
 }
@@ -359,7 +365,7 @@ std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
 
 void NodeStack::onTxSuccess(const mac::TxRequest& request) {
   if (!neighborHealth_.empty()) noteNeighborAlive(request.nextHop);
-  VirtualLinkSample& s = downSample_[request.packet->dst];
+  LinkAccumulator& s = downSample_[request.packet->dst];
   ++s.packets;
   double& mu = s.flowMu[request.packet->flow];
   mu = std::max(mu, request.packet->normalizedRate);
@@ -396,7 +402,7 @@ void NodeStack::onDataReceived(const phys::Frame& frame) {
     return;
   }
   lastSeqAccepted_[p.flow] = p.seq;
-  VirtualLinkSample& s = upSample_[{frame.transmitter, p.dst}];
+  LinkAccumulator& s = upSample_[{frame.transmitter, p.dst}];
   ++s.packets;
   double& mu = s.flowMu[p.flow];
   mu = std::max(mu, p.normalizedRate);
@@ -416,6 +422,12 @@ std::vector<phys::BufferStateAd> NodeStack::currentBufferState() {
         ads.push_back(
             phys::BufferStateAd{static_cast<topo::NodeId>(key), q.full()});
       }
+      // Destination order: the ads ride on every frame, so their order is
+      // part of the deterministic replay (the store is hashed).
+      std::sort(ads.begin(), ads.end(),
+                [](const phys::BufferStateAd& a, const phys::BufferStateAd& b) {
+                  return a.destination < b.destination;
+                });
       break;
     case QueueDiscipline::kSharedFifo:
       // One buffer for everything (Fig. 1(b) mode): a single state bit,
@@ -452,6 +464,13 @@ void NodeStack::onFrameDecoded(const phys::Frame& frame) {
 // Measurement
 // ---------------------------------------------------------------------------
 
+VirtualLinkSample NodeStack::toSample(const LinkAccumulator& acc) {
+  VirtualLinkSample s;
+  s.packets = acc.packets;
+  s.flowMu.insert(acc.flowMu.begin(), acc.flowMu.end());
+  return s;
+}
+
 NodePeriodMeasurement NodeStack::closeMeasurementWindow() {
   NodePeriodMeasurement m;
   m.node = self_;
@@ -466,8 +485,16 @@ NodePeriodMeasurement NodeStack::closeMeasurementWindow() {
       q.beginWindow(end);
     }
   }
-  m.downstream = std::move(downSample_);
-  m.upstream = std::move(upSample_);
+  // Convert the hashed accumulators into the sorted report form the
+  // control plane consumes (its iteration order feeds the deterministic
+  // GMP computation). Once per period, so the n log n is off the per-
+  // packet path.
+  for (const auto& [dest, acc] : downSample_) {
+    m.downstream.emplace(dest, toSample(acc));
+  }
+  for (const auto& [key, acc] : upSample_) {
+    m.upstream.emplace(key, toSample(acc));
+  }
   downSample_.clear();
   upSample_.clear();
   for (auto& [flow, count] : admittedInWindow_) {

@@ -4,9 +4,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mac/dcf.hpp"
@@ -16,6 +16,7 @@
 #include "net/measurement.hpp"
 #include "net/packet_queue.hpp"
 #include "sim/timer.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace maxmin::net {
@@ -64,6 +65,7 @@ class NodeStack final : public mac::FrameClient {
   double sourceMu(FlowId flow) const;
 
   const SourceCounters& sourceCounters(FlowId flow) const;
+  /// Ids of flows sourced here, sorted (the backing store is hashed).
   std::vector<FlowId> localFlows() const;
 
   // --- measurement (paper §6.2) ---------------------------------------------
@@ -129,6 +131,15 @@ class NodeStack final : public mac::FrameClient {
   PacketQueue& queueFor(QueueKey key);
   topo::NodeId destOf(QueueKey key, const PacketQueue& q) const;
 
+  /// Per-virtual-link measurement accumulator. Hashed flowMu for the
+  /// per-packet update; closeMeasurementWindow() converts to the sorted
+  /// VirtualLinkSample report form.
+  struct LinkAccumulator {
+    int packets = 0;
+    std::unordered_map<FlowId, double, IdHash> flowMu;
+  };
+  static VirtualLinkSample toSample(const LinkAccumulator& acc);
+
   void generate(SourceState& s);
   void scheduleNextGeneration(SourceState& s);
   double effectiveRate(const SourceState& s) const;
@@ -154,18 +165,19 @@ class NodeStack final : public mac::FrameClient {
   Rng rng_;
   mac::Dcf* mac_ = nullptr;
 
-  std::map<QueueKey, PacketQueue> queues_;
+  std::unordered_map<QueueKey, PacketQueue, IdHash> queues_;
   std::vector<QueueKey> serviceOrder_;  ///< round-robin ring
   std::size_t nextService_ = 0;
 
-  std::map<FlowId, SourceState> sources_;
+  std::unordered_map<FlowId, SourceState, IdHash> sources_;
 
   /// Cached piggybacked buffer state: (neighbor, dest) -> (full, heard at).
   struct CachedBufferState {
     bool full = false;
     TimePoint heard;
   };
-  std::map<std::pair<topo::NodeId, topo::NodeId>, CachedBufferState>
+  std::unordered_map<std::pair<topo::NodeId, topo::NodeId>, CachedBufferState,
+                     IdPairHash>
       neighborBufferState_;
 
   /// Consecutive-failure tracking per next hop for dead-neighbor
@@ -176,7 +188,7 @@ class NodeStack final : public mac::FrameClient {
     bool failing = false;
     bool dead = false;
   };
-  std::map<topo::NodeId, NeighborHealth> neighborHealth_;
+  std::unordered_map<topo::NodeId, NeighborHealth, IdHash> neighborHealth_;
 
   bool operational_ = true;
   std::int64_t dropsDeadNextHop_ = 0;
@@ -185,11 +197,15 @@ class NodeStack final : public mac::FrameClient {
   sim::Timer holdRetryTimer_;
   std::function<void(const phys::Frame&)> controlHandler_;
 
-  // Measurement accumulators (reset per window).
+  // Measurement accumulators (reset per window). Hashed: these take a
+  // per-forwarded-packet / per-received-packet update; the sorted report
+  // form is built once per period in closeMeasurementWindow().
   TimePoint windowStart_;
-  std::map<topo::NodeId, VirtualLinkSample> downSample_;
-  std::map<std::pair<topo::NodeId, topo::NodeId>, VirtualLinkSample> upSample_;
-  std::map<FlowId, std::int64_t> admittedInWindow_;
+  std::unordered_map<topo::NodeId, LinkAccumulator, IdHash> downSample_;
+  std::unordered_map<std::pair<topo::NodeId, topo::NodeId>, LinkAccumulator,
+                     IdPairHash>
+      upSample_;
+  std::unordered_map<FlowId, std::int64_t, IdHash> admittedInWindow_;
 
   std::int64_t dropsTail_ = 0;
 
@@ -197,7 +213,7 @@ class NodeStack final : public mac::FrameClient {
   /// retransmit a DATA frame the receiver already has. Per-flow delivery
   /// is in order (one path, FIFO queues), so a non-increasing sequence
   /// number identifies the duplicate.
-  std::map<FlowId, std::int64_t> lastSeqAccepted_;
+  std::unordered_map<FlowId, std::int64_t, IdHash> lastSeqAccepted_;
   std::int64_t duplicatesDropped_ = 0;
 };
 

@@ -21,13 +21,13 @@ class PacketQueue {
  public:
   PacketQueue(int capacity, TimePoint now);
 
-  int capacity() const { return capacity_; }
-  std::size_t size() const { return packets_.size(); }
-  bool empty() const { return packets_.empty(); }
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
 
   /// No free slot. (Size can exceed capacity transiently when a packet was
   /// in flight while the last slot filled; it still reads as full.)
-  bool full() const { return static_cast<int>(size()) >= capacity_; }
+  [[nodiscard]] bool full() const { return static_cast<int>(size()) >= capacity_; }
 
   const PacketPtr& front() const { return packets_.front(); }
 
@@ -39,12 +39,12 @@ class PacketQueue {
   void overwriteTail(PacketPtr p);
 
   /// Fraction of [windowStart, now] this queue was full.
-  double fullFraction(TimePoint windowStart, TimePoint now) const {
+  [[nodiscard]] double fullFraction(TimePoint windowStart, TimePoint now) const {
     return fullTime_.fraction(windowStart, now);
   }
   void beginWindow(TimePoint now) { fullTime_.beginWindow(now); }
 
-  std::int64_t maxSizeSeen() const { return maxSizeSeen_; }
+  [[nodiscard]] std::int64_t maxSizeSeen() const { return maxSizeSeen_; }
 
  private:
   void noteState(TimePoint now);

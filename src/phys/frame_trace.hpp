@@ -41,14 +41,14 @@ class FrameTrace final : public MediumObserver {
   void filterKind(std::optional<FrameKind> kind) { kindFilter_ = kind; }
 
   const std::vector<Event>& events() const { return events_; }
-  std::uint64_t totalObserved() const { return totalObserved_; }
+  [[nodiscard]] std::uint64_t totalObserved() const { return totalObserved_; }
 
   /// Per directed wireless link (transmitter -> addressee): frames
   /// delivered and corrupted at the addressee.
   struct LinkStats {
     std::int64_t delivered = 0;
     std::int64_t corrupted = 0;
-    double corruptionRatio() const {
+    [[nodiscard]] double corruptionRatio() const {
       const auto total = delivered + corrupted;
       return total == 0 ? 0.0
                         : static_cast<double>(corrupted) / total;
@@ -64,7 +64,7 @@ class FrameTrace final : public MediumObserver {
   /// Link stats ordered by (transmitter, addressee) — for reports and any
   /// output that must be reproducible. Sorting happens here, once, instead
   /// of on every frame.
-  std::vector<std::pair<topo::Link, LinkStats>> sortedLinkStats() const;
+  [[nodiscard]] std::vector<std::pair<topo::Link, LinkStats>> sortedLinkStats() const;
 
   /// One line per retained event: "t=<us> KIND FRAME tx>addr [rx=...]".
   void dump(std::ostream& os) const;
@@ -79,7 +79,7 @@ class FrameTrace final : public MediumObserver {
                     TimePoint at) override;
 
  private:
-  bool passes(const Frame& frame, topo::NodeId receiver) const;
+  [[nodiscard]] bool passes(const Frame& frame, topo::NodeId receiver) const;
   void record(Event event);
 
   std::size_t capacity_;

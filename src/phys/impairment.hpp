@@ -35,9 +35,9 @@ struct GilbertElliottParams {
   double lossGood = 0.0;
   double lossBad = 1.0;
 
-  bool enabled() const { return pGoodToBad > 0.0; }
+  [[nodiscard]] bool enabled() const { return pGoodToBad > 0.0; }
   /// Long-run average loss probability of the two-state chain.
-  double steadyStateLoss() const;
+  [[nodiscard]] double steadyStateLoss() const;
 };
 
 struct ImpairmentConfig {
@@ -51,7 +51,7 @@ struct ImpairmentConfig {
   GilbertElliottParams gilbert;
   Scope scope = Scope::kAllFrames;
 
-  bool enabled() const { return per > 0.0 || gilbert.enabled(); }
+  [[nodiscard]] bool enabled() const { return per > 0.0 || gilbert.enabled(); }
 };
 
 const char* impairmentScopeName(ImpairmentConfig::Scope scope);
@@ -67,10 +67,10 @@ class ChannelImpairments {
   /// impairment RNG stream only (never perturbs other subsystems).
   bool shouldDrop(topo::NodeId from, topo::NodeId to, FrameKind kind);
 
-  std::int64_t framesDropped() const { return framesDropped_; }
+  [[nodiscard]] std::int64_t framesDropped() const { return framesDropped_; }
 
  private:
-  bool inScope(FrameKind kind) const;
+  [[nodiscard]] bool inScope(FrameKind kind) const;
 
   ImpairmentConfig config_;
   Rng rng_;

@@ -89,8 +89,10 @@ void Medium::startTransmission(const Frame& frame) {
     } else {
       active_[silentSlot] = std::move(tx);
     }
-    sim_.schedule(frame.duration,
-                  [this, silentSlot] { finishTransmission(silentSlot); });
+    // Fire-and-forget: a transmission always runs to completion (a crash
+    // makes it silent, never cancels it).
+    static_cast<void>(sim_.schedule(
+        frame.duration, [this, silentSlot] { finishTransmission(silentSlot); }));
     return;
   }
 
@@ -139,7 +141,9 @@ void Medium::startTransmission(const Frame& frame) {
     active_[slot] = std::move(tx);
   }
   if (observer_ != nullptr) observer_->onTransmissionStart(frame, sim_.now());
-  sim_.schedule(frame.duration, [this, slot] { finishTransmission(slot); });
+  // Fire-and-forget: completion is unconditional (see above).
+  static_cast<void>(
+      sim_.schedule(frame.duration, [this, slot] { finishTransmission(slot); }));
 }
 
 void Medium::finishTransmission(std::size_t slot) {

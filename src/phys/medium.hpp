@@ -75,23 +75,23 @@ class Medium {
   void startTransmission(const Frame& frame);
 
   /// True if node `id` currently senses energy from another transmitter.
-  bool senseBusy(topo::NodeId id) const {
+  [[nodiscard]] bool senseBusy(topo::NodeId id) const {
     return energy_.at(static_cast<std::size_t>(id)) > 0;
   }
 
-  bool isTransmitting(topo::NodeId id) const {
+  [[nodiscard]] bool isTransmitting(topo::NodeId id) const {
     return transmitting_.at(static_cast<std::size_t>(id));
   }
 
   const topo::Topology& topology() const { return topo_; }
 
   // --- diagnostics -------------------------------------------------------
-  std::uint64_t framesDelivered() const { return framesDelivered_; }
-  std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+  [[nodiscard]] std::uint64_t framesDelivered() const { return framesDelivered_; }
+  [[nodiscard]] std::uint64_t framesCorrupted() const { return framesCorrupted_; }
   /// Frames dropped by the channel impairment model.
-  std::uint64_t framesImpaired() const { return framesImpaired_; }
+  [[nodiscard]] std::uint64_t framesImpaired() const { return framesImpaired_; }
   /// Transmissions/receptions suppressed by the fault plane.
-  std::uint64_t framesSuppressed() const { return framesSuppressed_; }
+  [[nodiscard]] std::uint64_t framesSuppressed() const { return framesSuppressed_; }
 
  private:
   struct PendingRx {

@@ -197,12 +197,14 @@ void FaultPlane::start() {
       continue;
     }
     MAXMIN_CHECK_MSG(e.at >= sim_.now(), "fault event in the past");
-    sim_.scheduleAt(e.at, [this, e] { apply(e); });
+    // Fire-and-forget: scripted faults are never cancelled and the plane
+    // outlives the simulation, so the handle is deliberately dropped.
+    static_cast<void>(sim_.scheduleAt(e.at, [this, e] { apply(e); }));
   }
   if (script_.churn.enabled()) {
     for (const std::int32_t n : script_.churn.nodes) {
-      sim_.scheduleAt(std::max(script_.churn.start, sim_.now()),
-                      [this, n] { scheduleChurn(n); });
+      static_cast<void>(sim_.scheduleAt(std::max(script_.churn.start, sim_.now()),
+                                        [this, n] { scheduleChurn(n); }));
     }
   }
 }
@@ -259,10 +261,12 @@ void FaultPlane::scheduleChurn(std::int32_t node) {
       isUp ? churn.meanUpSeconds : churn.meanDownSeconds;
   const Duration sojourn = std::max(
       Duration::micros(1), Duration::seconds(rng_.exponential(meanSeconds)));
-  sim_.schedule(sojourn, [this, node] {
+  // Fire-and-forget: churn reschedules itself until `stop` and is never
+  // cancelled mid-run.
+  static_cast<void>(sim_.schedule(sojourn, [this, node] {
     setNodeUp(node, !nodeUp(node));
     scheduleChurn(node);
-  });
+  }));
 }
 
 std::pair<std::int32_t, std::int32_t> FaultPlane::normalized(

@@ -63,7 +63,7 @@ struct ChurnConfig {
   /// recovers at its already-scheduled instant and then stays up.
   TimePoint stop = TimePoint::max();
 
-  bool enabled() const {
+  [[nodiscard]] bool enabled() const {
     return !nodes.empty() && meanUpSeconds > 0.0 && meanDownSeconds > 0.0;
   }
 };
@@ -73,7 +73,7 @@ struct FaultScript {
   std::vector<FaultEvent> events;
   ChurnConfig churn;
 
-  bool empty() const { return events.empty() && !churn.enabled(); }
+  [[nodiscard]] bool empty() const { return events.empty() && !churn.enabled(); }
 };
 
 /// Parse the line-oriented fault-script format used by `maxmin-sim
@@ -123,17 +123,17 @@ class FaultPlane {
   void start();
 
   // --- state queries ------------------------------------------------------
-  bool nodeUp(std::int32_t node) const;
+  [[nodiscard]] bool nodeUp(std::int32_t node) const;
   /// True iff both endpoints are up and the undirected link is not cut.
-  bool linkUp(std::int32_t a, std::int32_t b) const;
-  Duration clockSkew(std::int32_t node) const;
+  [[nodiscard]] bool linkUp(std::int32_t a, std::int32_t b) const;
+  [[nodiscard]] Duration clockSkew(std::int32_t node) const;
   /// Largest skew across all nodes (the controller's assembly delay).
-  Duration maxClockSkew() const;
+  [[nodiscard]] Duration maxClockSkew() const;
 
   // --- diagnostics --------------------------------------------------------
-  std::int64_t crashesInjected() const { return crashesInjected_; }
-  std::int64_t recoveriesInjected() const { return recoveriesInjected_; }
-  std::int64_t linkCutsInjected() const { return linkCutsInjected_; }
+  [[nodiscard]] std::int64_t crashesInjected() const { return crashesInjected_; }
+  [[nodiscard]] std::int64_t recoveriesInjected() const { return recoveriesInjected_; }
+  [[nodiscard]] std::int64_t linkCutsInjected() const { return linkCutsInjected_; }
 
  private:
   void apply(const FaultEvent& e);

@@ -53,15 +53,25 @@ class Simulator {
   TimePoint now() const { return now_; }
 
   /// Schedule `fn` to run `delay` from now. Zero delay runs after all
-  /// events already scheduled for the current instant.
-  EventId schedule(Duration delay, EventFn fn) {
+  /// events already scheduled for the current instant. Discarding the
+  /// returned id forfeits the only way to cancel.
+  [[nodiscard]] EventId schedule(Duration delay, EventFn fn) {
     MAXMIN_CHECK(delay >= Duration::zero());
     return emplaceEvent(now_ + delay, std::move(fn));
   }
 
   /// Schedule `fn` at an absolute instant; must not be in the past.
-  EventId scheduleAt(TimePoint when, EventFn fn) {
+  [[nodiscard]] EventId scheduleAt(TimePoint when, EventFn fn) {
     return emplaceEvent(when, std::move(fn));
+  }
+
+  /// Fire-and-forget variants for events that are never cancelled — the
+  /// explicit opt-out from schedule()'s [[nodiscard]] handle.
+  void post(Duration delay, EventFn fn) {
+    static_cast<void>(schedule(delay, std::move(fn)));
+  }
+  void postAt(TimePoint when, EventFn fn) {
+    static_cast<void>(scheduleAt(when, std::move(fn)));
   }
 
   /// Cancel a pending event: an O(1) generation bump. Cancelling an
@@ -166,7 +176,8 @@ class Simulator {
     std::uint32_t gen;
   };
 
-  static constexpr EventId makeId(std::uint32_t slot, std::uint32_t gen) {
+  [[nodiscard]] static constexpr EventId makeId(std::uint32_t slot,
+                                                std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) | slot;
   }
   static constexpr std::uint32_t slotOf(EventId id) {
@@ -194,7 +205,7 @@ class Simulator {
 
   /// Allocate a slab slot and move `fn` into it; shared tail of
   /// schedule()/scheduleAt().
-  EventId emplaceEvent(TimePoint when, EventFn&& fn) {
+  [[nodiscard]] EventId emplaceEvent(TimePoint when, EventFn&& fn) {
     MAXMIN_CHECK_MSG(when >= now_, "event scheduled in the past: "
                                        << when << " < now " << now_);
     MAXMIN_CHECK(static_cast<bool>(fn));

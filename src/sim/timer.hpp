@@ -24,7 +24,7 @@ class Timer {
 
   void cancel();
 
-  bool pending() const { return id_ != kInvalidEventId; }
+  [[nodiscard]] bool pending() const { return id_ != kInvalidEventId; }
 
  private:
   void fire();
@@ -48,7 +48,7 @@ class PeriodicTimer {
 
   void stop() { timer_.cancel(); }
 
-  bool running() const { return timer_.pending(); }
+  [[nodiscard]] bool running() const { return timer_.pending(); }
 
  private:
   void fire();

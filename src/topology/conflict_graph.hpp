@@ -26,15 +26,15 @@ class ConflictGraph {
   static bool linksConflict(const Topology& topo, Link a, Link b);
 
   const std::vector<Link>& links() const { return links_; }
-  int numLinks() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] int numLinks() const { return static_cast<int>(links_.size()); }
 
-  bool conflicts(int a, int b) const {
+  [[nodiscard]] bool conflicts(int a, int b) const {
     return adjacency_.at(static_cast<std::size_t>(a))
         .at(static_cast<std::size_t>(b));
   }
 
   /// Index of a link in links(), or -1 if absent.
-  int indexOf(Link l) const;
+  [[nodiscard]] int indexOf(Link l) const;
 
  private:
   std::vector<Link> links_;

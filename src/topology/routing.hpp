@@ -21,25 +21,25 @@ class RoutingTree {
   /// Unreachable nodes get kNoNode.
   static RoutingTree shortestPaths(const Topology& topo, NodeId dest);
 
-  NodeId destination() const { return dest_; }
+  [[nodiscard]] NodeId destination() const { return dest_; }
 
   /// Next hop from `from` toward the destination; kNoNode if `from` is the
   /// destination or disconnected from it.
-  NodeId nextHop(NodeId from) const {
+  [[nodiscard]] NodeId nextHop(NodeId from) const {
     return nextHop_.at(static_cast<std::size_t>(from));
   }
 
-  bool reaches(NodeId from) const {
+  [[nodiscard]] bool reaches(NodeId from) const {
     return from == dest_ || nextHop(from) != kNoNode;
   }
 
   /// Full path from `from` to the destination, inclusive of both ends.
   /// Empty if unreachable.
-  std::vector<NodeId> pathFrom(NodeId from) const;
+  [[nodiscard]] std::vector<NodeId> pathFrom(NodeId from) const;
 
   /// Number of hops from `from` to the destination (0 when from == dest);
   /// -1 if unreachable.
-  int hopCount(NodeId from) const;
+  [[nodiscard]] int hopCount(NodeId from) const;
 
  private:
   NodeId dest_ = kNoNode;

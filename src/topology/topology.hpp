@@ -38,18 +38,18 @@ class Topology {
   static Topology fromPositions(std::vector<Point> positions,
                                 RadioRanges ranges = {});
 
-  int numNodes() const { return static_cast<int>(positions_.size()); }
-  Point position(NodeId id) const { return positions_.at(checkId(id)); }
+  [[nodiscard]] int numNodes() const { return static_cast<int>(positions_.size()); }
+  [[nodiscard]] Point position(NodeId id) const { return positions_.at(checkId(id)); }
   const RadioRanges& ranges() const { return ranges_; }
 
-  double distanceBetween(NodeId a, NodeId b) const;
+  [[nodiscard]] double distanceBetween(NodeId a, NodeId b) const;
 
   /// True when a and b can exchange decodable frames (within txRange).
-  bool areNeighbors(NodeId a, NodeId b) const;
+  [[nodiscard]] bool areNeighbors(NodeId a, NodeId b) const;
 
   /// True when a transmission by `a` is sensed at `b` (within csRange).
   /// Symmetric; a node does not sense itself.
-  bool inCsRange(NodeId a, NodeId b) const;
+  [[nodiscard]] bool inCsRange(NodeId a, NodeId b) const;
 
   /// One-hop neighbors (decodable), ascending id order.
   const std::vector<NodeId>& neighbors(NodeId id) const {
@@ -59,10 +59,10 @@ class Topology {
   /// Nodes exactly one or two hops away in the neighbor graph, ascending,
   /// excluding `id` itself. This is the scope over which the paper
   /// disseminates link state.
-  std::vector<NodeId> twoHopNeighborhood(NodeId id) const;
+  [[nodiscard]] std::vector<NodeId> twoHopNeighborhood(NodeId id) const;
 
  private:
-  std::size_t checkId(NodeId id) const {
+  [[nodiscard]] std::size_t checkId(NodeId id) const {
     MAXMIN_CHECK_MSG(id >= 0 && id < numNodes(), "bad node id " << id);
     return static_cast<std::size_t>(id);
   }

@@ -54,7 +54,7 @@ class Rng {
   /// names (or indices) are decorrelated; the same (seed, name, index)
   /// always yields the same stream. This is what lets optional subsystems
   /// draw randomness without perturbing existing seeded runs.
-  Rng stream(std::string_view name, std::uint64_t index = 0) const {
+  [[nodiscard]] Rng stream(std::string_view name, std::uint64_t index = 0) const {
     // FNV-1a over the name, finalized with splitmix64 — cheap and plenty
     // for decorrelating mt19937_64 seeds.
     std::uint64_t h = 14695981039346656037ULL;
@@ -71,7 +71,7 @@ class Rng {
   }
 
   /// The seed this generator was constructed with (stream derivation key).
-  std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 

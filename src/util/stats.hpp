@@ -15,13 +15,13 @@ class RunningStats {
   void add(double x);
   void reset();
 
-  std::int64_t count() const { return n_; }
-  double mean() const { return n_ > 0 ? mean_ : 0.0; }
-  double variance() const;  ///< Sample variance; 0 for fewer than 2 samples.
-  double stddev() const;
-  double min() const { return n_ > 0 ? min_ : 0.0; }
-  double max() const { return n_ > 0 ? max_ : 0.0; }
-  double sum() const { return sum_; }
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< Sample variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
 
  private:
   std::int64_t n_ = 0;
@@ -42,7 +42,7 @@ class WindowedCounter {
   /// returns events/second and resets the counter.
   double closeWindow(TimePoint windowStart, TimePoint now);
 
-  std::int64_t pending() const { return count_; }
+  [[nodiscard]] std::int64_t pending() const { return count_; }
 
  private:
   std::int64_t count_ = 0;
@@ -59,13 +59,13 @@ class BusyTimeAccumulator {
 
   /// Fraction of [windowStart, now] during which the condition held.
   /// Does not reset state; `beginWindow` starts the next window.
-  double fraction(TimePoint windowStart, TimePoint now) const;
+  [[nodiscard]] double fraction(TimePoint windowStart, TimePoint now) const;
 
   /// Start a new measurement window at `now`, carrying the current on/off
   /// state into it.
   void beginWindow(TimePoint now);
 
-  bool isOn() const { return on_; }
+  [[nodiscard]] bool isOn() const { return on_; }
 
  private:
   bool on_ = false;
@@ -76,10 +76,10 @@ class BusyTimeAccumulator {
 
 /// Jain's fairness (equality) index: (sum x)^2 / (n * sum x^2).
 /// Returns 1.0 for an empty or all-zero input by convention.
-double jainIndex(const std::vector<double>& xs);
+[[nodiscard]] double jainIndex(const std::vector<double>& xs);
 
 /// Maxmin fairness index: min(x) / max(x). Returns 1.0 for empty input and
 /// 0.0 when max > 0 but min == 0.
-double maxminIndex(const std::vector<double>& xs);
+[[nodiscard]] double maxminIndex(const std::vector<double>& xs);
 
 }  // namespace maxmin

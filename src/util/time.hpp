@@ -13,7 +13,9 @@
 namespace maxmin {
 
 /// A span of simulated time. Internally a signed 64-bit count of microseconds.
-class Duration {
+/// Class-level [[nodiscard]]: a discarded Duration (or any unit value) is
+/// always a dropped computation, never a side effect.
+class [[nodiscard]] Duration {
  public:
   constexpr Duration() = default;
 
@@ -52,7 +54,7 @@ class Duration {
 };
 
 /// An absolute instant on the simulation clock (microseconds since start).
-class TimePoint {
+class [[nodiscard]] TimePoint {
  public:
   constexpr TimePoint() = default;
 

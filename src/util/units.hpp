@@ -10,7 +10,7 @@
 namespace maxmin {
 
 /// A payload / frame size in bytes.
-class DataSize {
+class [[nodiscard]] DataSize {
  public:
   constexpr DataSize() = default;
   static constexpr DataSize bytes(std::int64_t b) { return DataSize{b}; }
@@ -27,7 +27,7 @@ class DataSize {
 };
 
 /// A channel or flow bit rate in bits per second.
-class BitRate {
+class [[nodiscard]] BitRate {
  public:
   constexpr BitRate() = default;
   static constexpr BitRate bitsPerSecond(double bps) { return BitRate{bps}; }
@@ -55,7 +55,7 @@ class BitRate {
 };
 
 /// A packet rate in packets per second; the unit the paper reports flows in.
-class PacketRate {
+class [[nodiscard]] PacketRate {
  public:
   constexpr PacketRate() = default;
   static constexpr PacketRate perSecond(double pps) { return PacketRate{pps}; }

@@ -216,7 +216,7 @@ TEST(ExperimentRunner, ResultAccessorsAndHops) {
   EXPECT_EQ(r.flows[0].hops, 3);
   EXPECT_EQ(r.flows[1].hops, 2);
   EXPECT_EQ(r.flows[2].hops, 1);
-  EXPECT_THROW(r.rateOf(99), InvariantViolation);
+  EXPECT_THROW(static_cast<void>(r.rateOf(99)), InvariantViolation);
   // U consistency: sum of rate*hops.
   double u = 0;
   for (const auto& f : r.flows) u += f.ratePps * f.hops;

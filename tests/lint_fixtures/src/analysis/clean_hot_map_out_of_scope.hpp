@@ -1,0 +1,14 @@
+// Fixture: std::map outside the hot-path scope (src/analysis is the
+// offline report plane) is allowed without any pragma.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Report {
+  std::map<std::string, double> metrics;  // sorted for stable CSV output
+};
+
+}  // namespace fixture

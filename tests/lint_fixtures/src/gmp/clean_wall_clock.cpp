@@ -1,0 +1,17 @@
+// Fixture: simulation time via the kernel clock stays silent, as do
+// identifiers that merely contain banned substrings (holdStateTimeout,
+// periodSeconds) and comments naming system_clock.
+namespace fixture {
+
+struct Simulator {
+  long now() const { return now_; }
+  long now_ = 0;
+};
+
+// Measurement windows close on Simulator::now(), never system_clock.
+double windowSeconds(const Simulator& sim, long start) {
+  const long holdStateTimeout = 7;
+  return static_cast<double>(sim.now() - start + holdStateTimeout);
+}
+
+}  // namespace fixture

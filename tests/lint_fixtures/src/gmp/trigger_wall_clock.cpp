@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads inside a simulation subsystem must fire
+// [wall-clock] — each of these makes a run depend on the host clock.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double stalenessSeconds() {
+  const auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  return static_cast<double>(std::time(nullptr));
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: unordered_map on the hot path stays silent; a genuine
+// report-time std::map opts out with the allow pragma.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct PerFlowState {
+  std::unordered_map<std::int64_t, std::int64_t> lastSeqAccepted;
+
+  /// Report rows are consumed in flow-id order by the control plane.
+  // maxmin-lint: allow(hot-map) sorted report type, filled once per period
+  std::map<std::int64_t, double> reportRates;
+};
+
+}  // namespace fixture

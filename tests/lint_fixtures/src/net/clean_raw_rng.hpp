@@ -1,0 +1,17 @@
+// Fixture: randomness drawn through maxmin::Rng must stay silent, and a
+// comment naming std::mt19937 or rand() must not fire either (the lint
+// strips comments before matching).
+#pragma once
+
+namespace fixture {
+
+class Rng;  // stand-in for maxmin::Rng
+
+inline double jitter(Rng& rng);  // draws from a named stream, not rand()
+
+// The underlying engine is a std::mt19937_64 owned by util/rng.hpp; that
+// mention is documentation, not a violation. Identifiers that merely
+// contain the substring (operand, uniformRandom) are fine too.
+inline int operand(int uniformRandomIndex) { return uniformRandomIndex; }
+
+}  // namespace fixture

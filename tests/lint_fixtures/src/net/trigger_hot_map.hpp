@@ -1,0 +1,14 @@
+// Fixture: std::map members in a hot-path header must fire [hot-map].
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+struct PerFlowState {
+  std::map<std::int64_t, std::int64_t> lastSeqAccepted;
+  std::multimap<std::int64_t, double> samples;
+};
+
+}  // namespace fixture

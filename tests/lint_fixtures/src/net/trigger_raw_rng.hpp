@@ -1,0 +1,14 @@
+// Fixture: a raw engine and a C-library call must both fire [raw-rng].
+#pragma once
+
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int rollInitiative() {
+  std::mt19937 engine{std::random_device{}()};
+  return static_cast<int>(engine() % 6u) + rand() % 6;
+}
+
+}  // namespace fixture

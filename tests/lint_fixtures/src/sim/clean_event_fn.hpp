@@ -1,0 +1,15 @@
+// Fixture: sim::EventFn callbacks stay silent; so does a comment
+// explaining why std::function is banned (48 B inline budget).
+#pragma once
+
+namespace fixture {
+
+class EventFn;  // stand-in for sim::EventFn
+
+struct Timer {
+  // std::function would heap-allocate here; EventFn stores the capture
+  // inline, which is exactly why the kernel requires it.
+  EventFn* callback = nullptr;
+};
+
+}  // namespace fixture

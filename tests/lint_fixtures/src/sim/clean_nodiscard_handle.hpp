@@ -1,0 +1,26 @@
+// Fixture: [[nodiscard]] handle APIs stay silent, whether the attribute
+// is on the same line or the line above; EventId parameters and members
+// are not declarations and never fire.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  [[nodiscard]] EventId schedule(long delayUs);
+
+  [[nodiscard]]
+  EventId scheduleAt(long whenUs);
+
+  void cancel(EventId id);
+
+ private:
+  EventId pending_ = kInvalidEventId;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: std::function in the DES kernel must fire [event-fn].
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+
+struct Timer {
+  std::function<void()> callback;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a handle-returning API without [[nodiscard]] must fire
+// [nodiscard-handle] — a dropped EventId is an uncancellable event.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  EventId schedule(long delayUs);
+  static constexpr EventId makeId(std::uint32_t slot) { return slot; }
+};
+
+}  // namespace fixture

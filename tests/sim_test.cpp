@@ -15,9 +15,9 @@ namespace {
 TEST(Simulator, ExecutesInTimeOrder) {
   Simulator s;
   std::vector<int> order;
-  s.schedule(Duration::micros(30), [&] { order.push_back(3); });
-  s.schedule(Duration::micros(10), [&] { order.push_back(1); });
-  s.schedule(Duration::micros(20), [&] { order.push_back(2); });
+  s.post(Duration::micros(30), [&] { order.push_back(3); });
+  s.post(Duration::micros(10), [&] { order.push_back(1); });
+  s.post(Duration::micros(20), [&] { order.push_back(2); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(s.now().asMicros(), 30);
@@ -27,7 +27,7 @@ TEST(Simulator, SameInstantIsFifo) {
   Simulator s;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    s.schedule(Duration::micros(5), [&order, i] { order.push_back(i); });
+    s.post(Duration::micros(5), [&order, i] { order.push_back(i); });
   }
   s.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -36,11 +36,11 @@ TEST(Simulator, SameInstantIsFifo) {
 TEST(Simulator, ZeroDelayRunsAfterCurrentInstantFifo) {
   Simulator s;
   std::vector<int> order;
-  s.schedule(Duration::micros(1), [&] {
+  s.post(Duration::micros(1), [&] {
     order.push_back(1);
-    s.schedule(Duration::zero(), [&] { order.push_back(2); });
+    s.post(Duration::zero(), [&] { order.push_back(2); });
   });
-  s.schedule(Duration::micros(1), [&] { order.push_back(3); });
+  s.post(Duration::micros(1), [&] { order.push_back(3); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
 }
@@ -62,7 +62,7 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
   s.run();
   s.cancel(id);  // already fired: no-op
   s.cancel(id);
-  s.schedule(Duration::micros(1), [&] { ++runs; });
+  s.post(Duration::micros(1), [&] { ++runs; });
   s.run();
   EXPECT_EQ(runs, 2);
 }
@@ -70,8 +70,8 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
 TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
   Simulator s;
   int runs = 0;
-  s.schedule(Duration::micros(10), [&] { ++runs; });
-  s.schedule(Duration::micros(100), [&] { ++runs; });
+  s.post(Duration::micros(10), [&] { ++runs; });
+  s.post(Duration::micros(100), [&] { ++runs; });
   s.runUntil(TimePoint::origin() + Duration::micros(50));
   EXPECT_EQ(runs, 1);
   EXPECT_EQ(s.now().asMicros(), 50);
@@ -83,16 +83,16 @@ TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
 TEST(Simulator, RunUntilIncludesBoundaryEvents) {
   Simulator s;
   bool ran = false;
-  s.schedule(Duration::micros(50), [&] { ran = true; });
+  s.post(Duration::micros(50), [&] { ran = true; });
   s.runUntil(TimePoint::origin() + Duration::micros(50));
   EXPECT_TRUE(ran);
 }
 
 TEST(Simulator, SchedulingInPastThrows) {
   Simulator s;
-  s.schedule(Duration::micros(10), [] {});
+  s.post(Duration::micros(10), [] {});
   s.run();
-  EXPECT_THROW(s.scheduleAt(TimePoint::origin() + Duration::micros(5), [] {}),
+  EXPECT_THROW(s.postAt(TimePoint::origin() + Duration::micros(5), [] {}),
                InvariantViolation);
 }
 
@@ -100,9 +100,9 @@ TEST(Simulator, EventsCanScheduleEvents) {
   Simulator s;
   int depth = 0;
   std::function<void()> recurse = [&] {
-    if (++depth < 5) s.schedule(Duration::micros(1), recurse);
+    if (++depth < 5) s.post(Duration::micros(1), recurse);
   };
-  s.schedule(Duration::micros(1), recurse);
+  s.post(Duration::micros(1), recurse);
   s.run();
   EXPECT_EQ(depth, 5);
   EXPECT_EQ(s.now().asMicros(), 5);
@@ -122,7 +122,7 @@ TEST(Simulator, CancelAfterFireNeitherLeaksNorUnderflows) {
   EXPECT_EQ(s.pendingEvents(), 0u);
   // The queue must still work normally afterwards.
   bool fired = false;
-  s.schedule(Duration::micros(1), [&] { fired = true; });
+  s.post(Duration::micros(1), [&] { fired = true; });
   EXPECT_EQ(s.pendingEvents(), 1u);
   s.run();
   EXPECT_TRUE(fired);
@@ -135,7 +135,7 @@ TEST(Simulator, CancelOfNeverIssuedIdIsNoOp) {
   s.cancel(0xdeadbeefcafe1234ull);  // slot far beyond anything allocated
   EXPECT_EQ(s.pendingEvents(), 0u);
   bool fired = false;
-  s.schedule(Duration::micros(1), [&] { fired = true; });
+  s.post(Duration::micros(1), [&] { fired = true; });
   s.cancel(0xdeadbeefcafe1234ull);
   EXPECT_EQ(s.pendingEvents(), 1u);
   s.run();
@@ -149,7 +149,7 @@ TEST(Simulator, StaleIdCannotCancelReusedSlot) {
   const EventId first = s.schedule(Duration::micros(1), [] {});
   s.run();  // fires; its slot returns to the free list
   bool fired = false;
-  s.schedule(Duration::micros(1), [&] { fired = true; });  // reuses the slot
+  s.post(Duration::micros(1), [&] { fired = true; });  // reuses the slot
   s.cancel(first);  // stale generation: must not touch the new event
   EXPECT_EQ(s.pendingEvents(), 1u);
   s.run();
@@ -176,9 +176,9 @@ TEST(Simulator, HeavyCancellationKeepsCountsExact) {
 TEST(Simulator, RunUntilNowWithPendingSameInstantEvents) {
   Simulator s;
   int fired = 0;
-  s.schedule(Duration::zero(), [&] { ++fired; });
-  s.schedule(Duration::zero(), [&] { ++fired; });
-  s.schedule(Duration::micros(5), [&] { ++fired; });
+  s.post(Duration::zero(), [&] { ++fired; });
+  s.post(Duration::zero(), [&] { ++fired; });
+  s.post(Duration::micros(5), [&] { ++fired; });
   s.runUntil(s.now());  // zero-length window: runs the t=0 events only
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(s.now().asMicros(), 0);
@@ -194,7 +194,7 @@ TEST(Simulator, FifoPreservedAcrossWindowRebuilds) {
   std::vector<int> order;
   for (int batch = 0; batch < 5; ++batch) {
     for (int i = 0; i < 7; ++i) {
-      s.schedule(Duration::millis(batch * 100), [&order, batch, i] {
+      s.post(Duration::millis(batch * 100), [&order, batch, i] {
         order.push_back(batch * 7 + i);
       });
     }
@@ -213,7 +213,7 @@ TEST(EventFn, OversizedCaptureFallsBackToHeap) {
   std::array<std::uint64_t, 8> payload{};
   payload.fill(41);
   std::uint64_t seen = 0;
-  s.schedule(Duration::micros(1),
+  s.post(Duration::micros(1),
              [payload, &seen] { seen = payload[7] + 1; });
   s.run();
   EXPECT_EQ(seen, 42u);
@@ -223,7 +223,7 @@ TEST(EventFn, MoveOnlyCaptureWorks) {
   Simulator s;
   auto owned = std::make_unique<int>(7);
   int seen = 0;
-  s.schedule(Duration::micros(1),
+  s.post(Duration::micros(1),
              [p = std::move(owned), &seen] { seen = *p; });
   s.run();
   EXPECT_EQ(seen, 7);

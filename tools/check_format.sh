@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs clang-format -n --Werror over all
+# first-party C++ sources and fails if any file would be reformatted.
+# Never rewrites anything — see the policy note in .clang-format.
+#
+# Skips (exit 0) when clang-format is not installed, so the tier-1
+# build works in minimal containers; CI installs clang-format and runs
+# the real check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (CI runs the real check)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.[ch]pp' 'tools/**/*.[ch]pp' \
+  'bench/*.[ch]pp' 'examples/*.[ch]pp' 'tests/*.[ch]pp')
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no sources found" >&2
+  exit 1
+fi
+
+echo "check_format: checking ${#files[@]} files with $(clang-format --version)"
+if clang-format -n --Werror "${files[@]}"; then
+  echo "check_format: clean"
+else
+  echo "check_format: formatting drift found (fix the reported lines;" \
+       "do not mass-reformat)" >&2
+  exit 1
+fi

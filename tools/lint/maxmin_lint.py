@@ -1,0 +1,408 @@
+#!/usr/bin/env python3
+"""maxmin_lint — project-specific static analysis for the maxmin repo.
+
+The GMP maxmin guarantee rests on determinism invariants the compiler
+cannot see. Each rule below descends from a real bug or a structural
+invariant of this codebase (the catalog with history lives in
+DESIGN.md §10):
+
+  raw-rng          All randomness flows through maxmin::Rng's named,
+                   seeded streams (src/util/rng.hpp). A raw std::mt19937,
+                   rand() or std::random_device anywhere else silently
+                   breaks run-reproducibility-from-seed.
+  wall-clock       Simulation subsystems (src/sim|net|gmp|mac|phys) live
+                   on Simulator::now(). Any wall-clock read (time(),
+                   system_clock, gettimeofday, ...) makes a run depend on
+                   the host, not the seed.
+  hot-map          Hot-path headers (src/sim|net|mac|phys) must not use
+                   std::map: node-based containers cost a pointer chase
+                   per packet/frame. Use unordered_map and sort at report
+                   time (see phys::FrameTrace::sortedLinkStats). Genuine
+                   report/wire types opt out with an allow pragma.
+  event-fn         src/sim event paths must use sim::EventFn, not
+                   std::function — std::function heap-allocates beyond
+                   two captured words and drags copies into the
+                   schedule/fire hot path.
+  nodiscard-handle Handle-returning APIs (Simulator::schedule and
+                   friends returning EventId) must be [[nodiscard]]: a
+                   dropped handle is an uncancellable event, the exact
+                   shape of the PR-1 cancelled-set leak.
+
+Suppressions:
+  // maxmin-lint: allow(<rule>) <reason>        one line
+  // maxmin-lint: allow-file(<rule>) <reason>   whole file
+
+Usage:
+  tools/lint/maxmin_lint.py                 lint the repo (exit 1 on findings)
+  tools/lint/maxmin_lint.py path...         lint specific files
+  tools/lint/maxmin_lint.py --fixtures DIR  run the fixture expectations
+  tools/lint/maxmin_lint.py --list-rules    print the rule catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------------
+
+SIM_SCOPE = ("src/sim/", "src/net/", "src/gmp/", "src/mac/", "src/phys/")
+HOT_SCOPE = ("src/sim/", "src/net/", "src/mac/", "src/phys/")
+HEADER_SUFFIXES = (".hpp", ".h")
+
+# Files where a rule never applies (the one place the primitive belongs).
+BAKED_ALLOW = {
+    "raw-rng": ("src/util/rng.hpp",),
+}
+
+
+class Rule:
+    def __init__(self, rule_id, message, patterns, in_scope):
+        self.rule_id = rule_id
+        self.message = message
+        self.patterns = [re.compile(p) for p in patterns]
+        self.in_scope = in_scope
+
+
+def _is_header(rel):
+    return rel.endswith(HEADER_SUFFIXES)
+
+
+RULES = [
+    Rule(
+        "raw-rng",
+        "raw RNG primitive; draw from a named maxmin::Rng stream "
+        "(src/util/rng.hpp) so runs stay reproducible from the seed",
+        [
+            r"\bstd::mt19937(?:_64)?\b",
+            r"\bstd::random_device\b",
+            r"\bstd::default_random_engine\b",
+            r"\bstd::minstd_rand0?\b",
+            r"(?<![\w:.>])s?rand\s*\(",
+        ],
+        lambda rel: True,
+    ),
+    Rule(
+        "wall-clock",
+        "wall-clock read inside a simulation subsystem; use "
+        "Simulator::now() so a run is a pure function of its seed",
+        [
+            r"\bgettimeofday\s*\(",
+            r"\bclock_gettime\s*\(",
+            r"\bsystem_clock\b",
+            r"\bsteady_clock\b",
+            r"\bhigh_resolution_clock\b",
+            r"(?:\bstd::|(?<![\w.:])::)time\s*\(",
+            r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)",
+            r"\blocaltime(?:_r)?\s*\(",
+            r"\bgmtime(?:_r)?\s*\(",
+        ],
+        lambda rel: rel.startswith(SIM_SCOPE),
+    ),
+    Rule(
+        "hot-map",
+        "std::map in a hot-path header; use unordered_map and sort at "
+        "report time (phys::FrameTrace::sortedLinkStats is the model)",
+        [
+            r"\bstd::(?:multi)?map\s*<",
+        ],
+        lambda rel: rel.startswith(HOT_SCOPE) and _is_header(rel),
+    ),
+    Rule(
+        "event-fn",
+        "std::function in the DES kernel; event paths use sim::EventFn "
+        "(48 B inline budget, no heap traffic on schedule/fire)",
+        [
+            r"\bstd::function\s*<",
+        ],
+        lambda rel: rel.startswith("src/sim/"),
+    ),
+    Rule(
+        "nodiscard-handle",
+        "handle-returning API without [[nodiscard]]; a dropped EventId "
+        "is an uncancellable event",
+        [],  # structural rule, see check_nodiscard()
+        lambda rel: rel.startswith("src/") and _is_header(rel),
+    ),
+]
+
+RULE_IDS = {r.rule_id for r in RULES}
+
+# Declaration of a function returning an event handle. Anchored at the
+# line start (after qualifiers) so parameters of type EventId don't match.
+NODISCARD_DECL = re.compile(
+    r"^\s*(?:(?:static|constexpr|inline|virtual|friend|explicit)\s+)*"
+    r"(?:sim::)?EventId\s+\w+\s*\("
+)
+
+PRAGMA = re.compile(r"maxmin-lint:\s*(allow|allow-file)\(([a-z0-9-]+)\)")
+
+
+class Finding:
+    def __init__(self, rel, line, rule_id, message):
+        self.rel = rel
+        self.line = line
+        self.rule_id = rule_id
+        self.message = message
+
+    def __str__(self):
+        return f"{self.rel}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Comment / string stripping (pragmas are read from the raw text first)
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving line
+    structure so finding line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+def collect_pragmas(raw_lines):
+    """-> (file_allows: set[rule], line_allows: dict[lineno, set[rule]])."""
+    file_allows, line_allows = set(), {}
+    for lineno, line in enumerate(raw_lines, 1):
+        for kind, rule_id in PRAGMA.findall(line):
+            if rule_id not in RULE_IDS:
+                print(
+                    f"warning: unknown rule '{rule_id}' in pragma at "
+                    f"line {lineno}",
+                    file=sys.stderr,
+                )
+                continue
+            if kind == "allow-file":
+                file_allows.add(rule_id)
+            else:
+                # An allow() covers its own line and the next one, so the
+                # pragma can sit in a comment above a long declaration.
+                line_allows.setdefault(lineno, set()).add(rule_id)
+                line_allows.setdefault(lineno + 1, set()).add(rule_id)
+    return file_allows, line_allows
+
+
+# --------------------------------------------------------------------------
+# Checks
+# --------------------------------------------------------------------------
+
+def check_nodiscard(rel, stripped_lines, findings, allowed):
+    prev = ""
+    for lineno, line in enumerate(stripped_lines, 1):
+        if NODISCARD_DECL.match(line):
+            if "[[nodiscard]]" not in line and "[[nodiscard]]" not in prev:
+                if not allowed(lineno, "nodiscard-handle"):
+                    findings.append(
+                        Finding(rel, lineno, "nodiscard-handle",
+                                next(r.message for r in RULES
+                                     if r.rule_id == "nodiscard-handle"))
+                    )
+        if line.strip():
+            prev = line
+
+
+def lint_file(path, rel):
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"warning: cannot read {rel}: {e}", file=sys.stderr)
+        return []
+    raw_lines = raw.splitlines()
+    file_allows, line_allows = collect_pragmas(raw_lines)
+    stripped_lines = strip_comments_and_strings(raw).splitlines()
+
+    def allowed(lineno, rule_id):
+        if rule_id in file_allows:
+            return True
+        if rule_id in BAKED_ALLOW and rel in BAKED_ALLOW[rule_id]:
+            return True
+        return rule_id in line_allows.get(lineno, set())
+
+    findings = []
+    for rule in RULES:
+        if not rule.in_scope(rel):
+            continue
+        if rule.rule_id == "nodiscard-handle":
+            check_nodiscard(rel, stripped_lines, findings, allowed)
+            continue
+        for lineno, line in enumerate(stripped_lines, 1):
+            for pat in rule.patterns:
+                if pat.search(line) and not allowed(lineno, rule.rule_id):
+                    findings.append(
+                        Finding(rel, lineno, rule.rule_id, rule.message))
+                    break
+    return findings
+
+
+SKIP_DIRS = {".git", ".github", "third_party"}
+SKIP_REL = ("tests/lint_fixtures/",)
+
+
+def repo_files(root):
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in (".hpp", ".h", ".cpp", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        parts = rel.split("/")
+        if any(p in SKIP_DIRS or p.startswith("build") for p in parts[:-1]):
+            continue
+        if rel.startswith(SKIP_REL):
+            continue
+        yield path, rel
+
+
+def lint_tree(root, explicit=None):
+    findings = []
+    if explicit:
+        for p in explicit:
+            path = Path(p).resolve()
+            rel = path.relative_to(root).as_posix()
+            findings.extend(lint_file(path, rel))
+    else:
+        for path, rel in repo_files(root):
+            findings.extend(lint_file(path, rel))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Fixture mode: trigger_<rule>* must fire exactly that rule, clean_* must
+# be silent. Fixtures mirror the repo layout under the fixture root so the
+# path-scoping logic is exercised too.
+# --------------------------------------------------------------------------
+
+def run_fixtures(fixture_root):
+    failures = 0
+    cases = 0
+    for path, rel in repo_files(fixture_root):
+        name = path.stem
+        if name.startswith("trigger_"):
+            expect = name[len("trigger_"):]
+        elif name.startswith("clean_"):
+            expect = None
+        else:
+            continue
+        cases += 1
+        findings = lint_file(path, rel)
+        if expect is None:
+            if findings:
+                failures += 1
+                print(f"FAIL {rel}: expected clean, got:")
+                for f in findings:
+                    print(f"  {f}")
+            else:
+                print(f"PASS {rel} (clean)")
+            continue
+        # trigger_<rule>_variant → rule id uses dashes
+        rule_id = None
+        for r in sorted(RULE_IDS, key=len, reverse=True):
+            if expect.replace("-", "_").startswith(r.replace("-", "_")):
+                rule_id = r
+                break
+        if rule_id is None:
+            failures += 1
+            print(f"FAIL {rel}: fixture names unknown rule '{expect}'")
+            continue
+        fired = {f.rule_id for f in findings}
+        if rule_id not in fired:
+            failures += 1
+            print(f"FAIL {rel}: expected [{rule_id}] to fire, got {sorted(fired) or 'nothing'}")
+        elif fired != {rule_id}:
+            failures += 1
+            print(f"FAIL {rel}: unexpected extra rules fired: {sorted(fired - {rule_id})}")
+        else:
+            print(f"PASS {rel} ([{rule_id}] fired)")
+    if cases == 0:
+        print(f"FAIL: no fixtures found under {fixture_root}")
+        return 1
+    print(f"{cases - failures}/{cases} fixtures passed")
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------------------
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help="files to lint (default: repo)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repo root (default: two levels up from this script)")
+    parser.add_argument("--fixtures", type=Path,
+                        help="run fixture expectations under this directory")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(f"{r.rule_id:18} {r.message}")
+        return 0
+
+    if args.fixtures:
+        return run_fixtures(args.fixtures.resolve())
+
+    findings = lint_tree(args.root.resolve(), args.paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"maxmin-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("maxmin-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
