@@ -43,6 +43,7 @@ RunResult runScenario(const scenarios::Scenario& scenario,
   std::optional<gmp::Controller> controller;
   if (config.protocol == Protocol::kGmp) {
     controller.emplace(net, config.gmpParams);
+    controller->setTraceSink(config.trace);
     controller->start();
   } else if (config.protocol == Protocol::kTwoPhase) {
     std::vector<std::vector<topo::NodeId>> paths;

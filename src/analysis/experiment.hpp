@@ -12,6 +12,7 @@
 #include "analysis/metrics.hpp"
 #include "gmp/types.hpp"
 #include "net/config.hpp"
+#include "obs/trace.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/fault_plane.hpp"
 
@@ -39,6 +40,10 @@ struct RunConfig {
   net::NetworkConfig netBase;
   /// Fault schedule injected before the run starts; empty = no faults.
   sim::FaultScript faults;
+  /// Structured trace sink (not owned; nullptr = no tracing). GMP runs
+  /// attach it to the controller, which appends one JSONL record per
+  /// period (plus per-decision events at TraceLevel::kEvent).
+  obs::TraceSink* trace = nullptr;
 };
 
 struct FlowOutcome {

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <ostream>
 #include <thread>
 #include <utility>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace maxmin::exp {
@@ -17,7 +17,9 @@ SweepOutcome runOne(const SweepJob& job) {
   SweepOutcome out;
   out.label = job.label;
   out.seed = job.config.seed;
-  const auto start = std::chrono::steady_clock::now();
+  // obs::Profiler::wallNanos is the project's one sanctioned wall-clock
+  // read (see tools/lint rule chrono-outside-obs).
+  const std::int64_t start = obs::Profiler::wallNanos();
   try {
     out.result = analysis::runScenario(job.scenario, job.config);
     out.ok = true;
@@ -27,8 +29,7 @@ SweepOutcome runOne(const SweepJob& job) {
     out.error = "unknown exception";
   }
   out.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(obs::Profiler::wallNanos() - start) * 1e-9;
   return out;
 }
 

@@ -4,6 +4,9 @@
 #include <set>
 #include <utility>
 
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace maxmin::gmp {
@@ -25,6 +28,7 @@ Controller::Controller(net::Network& net, GmpParams params)
   std::set<std::pair<topo::NodeId, topo::NodeId>> vnodes;
   for (const net::FlowSpec& f : net_.flows()) {
     const auto path = net_.pathOf(f.id);
+    flowHops_[f.id] = static_cast<int>(path.size()) - 1;
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       flowsOnVlink_[VirtualLinkKey{path[i], path[i + 1], f.dst}].push_back(
           f.id);
@@ -32,60 +36,110 @@ Controller::Controller(net::Network& net, GmpParams params)
     }
   }
   virtualNodes_.assign(vnodes.begin(), vnodes.end());
+
+  const auto n = static_cast<std::size_t>(net_.topology().numNodes());
+  lastGoodMeas_.resize(n);
+  lastGoodPeriod_.assign(n, -1);
 }
 
 void Controller::start() {
   timer_.start(params_.period, [this] { tick(); });
 }
 
+std::size_t Controller::cachedMeasurements() const {
+  return static_cast<std::size_t>(
+      std::count_if(lastGoodPeriod_.begin(), lastGoodPeriod_.end(),
+                    [](int p) { return p >= 0; }));
+}
+
 Snapshot Controller::takeSnapshot() {
-  std::map<topo::NodeId, net::NodePeriodMeasurement> meas;
-  for (topo::NodeId n = 0; n < net_.topology().numNodes(); ++n) {
-    meas.emplace(n, net_.closeMeasurementWindow(n));
+  const int n = net_.topology().numNodes();
+  std::vector<net::NodePeriodMeasurement> meas;
+  meas.reserve(static_cast<std::size_t>(n));
+  for (topo::NodeId node = 0; node < n; ++node) {
+    meas.push_back(net_.closeMeasurementWindow(node));
   }
   return assembleSnapshot(meas);
 }
 
 Snapshot Controller::assembleSnapshot(
-    std::map<topo::NodeId, net::NodePeriodMeasurement>& meas) {
+    std::vector<net::NodePeriodMeasurement>& meas) {
+  MAXMIN_PROFILE_SCOPE("gmp.assemble_snapshot");
   Snapshot snap;
+  const int numNodes = net_.topology().numNodes();
+  MAXMIN_CHECK(static_cast<int>(meas.size()) == numNodes);
+  const auto measOf = [&](topo::NodeId n) -> net::NodePeriodMeasurement& {
+    return meas[static_cast<std::size_t>(n)];
+  };
 
-  // Staleness pass: a node that is down at the period boundary produced
-  // no real measurements this period. Substitute its last good
-  // measurement while that is within the TTL; past the TTL declare the
-  // node stale so the engine stops acting on anything derived from it.
-  if (const sim::FaultPlane* faults = net_.faultPlane()) {
-    for (topo::NodeId n = 0; n < net_.topology().numNodes(); ++n) {
-      if (faults->nodeUp(n)) {
-        lastGoodMeas_[n] = meas.at(n);
-        lastGoodPeriod_[n] = periods_;
-        continue;
-      }
-      const auto it = lastGoodPeriod_.find(n);
-      if (it != lastGoodPeriod_.end() &&
-          periods_ - it->second <= params_.measurementTtlPeriods) {
-        meas.at(n) = lastGoodMeas_.at(n);
-        ++staleMeasurementsUsed_;
-      } else {
-        snap.staleNodes.insert(n);
-      }
+  // Staleness pass: a node that is down at the period boundary — or that
+  // closed an empty window because it recovered exactly on the boundary —
+  // produced no usable measurements this period. Substitute its last
+  // good measurement while that is within the TTL; past the TTL declare
+  // the node stale so the engine stops acting on anything derived from
+  // it. Runs with or without a fault plane: a zero-length window is a
+  // missing measurement however it came about.
+  const sim::FaultPlane* faults = net_.faultPlane();
+  std::set<topo::NodeId> bridgedNodes;
+  for (topo::NodeId n = 0; n < numNodes; ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const bool up = faults == nullptr || faults->nodeUp(n);
+    if (up && measOf(n).periodSeconds > 0.0) {
+      lastGoodMeas_[ni] = measOf(n);
+      lastGoodPeriod_[ni] = periods_;
+      continue;
     }
-    for (const net::FlowSpec& f : net_.flows()) {
-      const auto path = net_.pathOf(f.id);
-      if (std::any_of(path.begin(), path.end(), [&](topo::NodeId n) {
-            return snap.staleNodes.contains(n);
-          })) {
-        snap.impairedFlows.insert(f.id);
+    if (lastGoodPeriod_[ni] >= 0 &&
+        periods_ - lastGoodPeriod_[ni] <= params_.measurementTtlPeriods) {
+      measOf(n) = lastGoodMeas_[ni];
+      bridgedNodes.insert(n);
+      ++staleMeasurementsUsed_;
+      MAXMIN_COUNT("gmp.stale_substitutions", 1);
+      if (trace_ != nullptr && trace_->wantsEvents()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("record").value("stale_substitution");
+        w.key("period").value(periods_);
+        w.key("node").value(n);
+        w.key("measuredPeriod").value(lastGoodPeriod_[ni]);
+        w.endObject();
+        trace_->writeRecord(w.str());
       }
+    } else {
+      snap.staleNodes.insert(n);
+    }
+  }
+  // Prune cached measurements that have aged past the TTL: they can
+  // never be substituted again, so holding them only leaks memory across
+  // long churn runs (and would mis-report cachedMeasurements()).
+  for (std::size_t ni = 0; ni < lastGoodPeriod_.size(); ++ni) {
+    if (lastGoodPeriod_[ni] >= 0 &&
+        periods_ - lastGoodPeriod_[ni] > params_.measurementTtlPeriods) {
+      lastGoodPeriod_[ni] = -1;
+      lastGoodMeas_[ni] = net::NodePeriodMeasurement{};
+    }
+  }
+  // A flow whose path crosses a stale node is computing on ghosts. So is
+  // a flow *sourced* at a bridged node: its "measured" rate this period
+  // is the cached localFlowRate from before the outage, reported as if
+  // it were live. Both go to the engine as impaired.
+  for (const net::FlowSpec& f : net_.flows()) {
+    const auto path = net_.pathOf(f.id);
+    const bool crossesStale =
+        std::any_of(path.begin(), path.end(), [&](topo::NodeId n) {
+          return snap.staleNodes.contains(n);
+        });
+    if (crossesStale || bridgedNodes.contains(f.src)) {
+      snap.impairedFlows.insert(f.id);
     }
   }
 
   // Each node closes its own window, so under clock skew (or after a
-  // mid-period recovery) period lengths differ per node.
+  // mid-period recovery) period lengths differ per node. Nodes left
+  // stale above may carry an empty (zero-length) window; callers must
+  // guard the division.
   const auto periodSecondsOf = [&](topo::NodeId n) {
-    const double s = meas.at(n).periodSeconds;
-    MAXMIN_CHECK_MSG(s > 0.0, "empty measurement window at node " << n);
-    return s;
+    return measOf(n).periodSeconds;
   };
 
   // Flow states, measured at the sources.
@@ -96,7 +150,7 @@ Snapshot Controller::assembleSnapshot(
     fs.dst = f.dst;
     fs.weight = f.weight;
     fs.desiredPps = f.desiredRate.asPerSecond();
-    const auto& local = meas.at(f.src).localFlowRate;
+    const auto& local = measOf(f.src).localFlowRate;
     if (const auto it = local.find(f.id); it != local.end()) {
       fs.ratePps = it->second;
     }
@@ -106,7 +160,7 @@ Snapshot Controller::assembleSnapshot(
 
   // Virtual-node saturation from Omega (paper §6.2: threshold 25%).
   for (const auto& [node, dest] : virtualNodes_) {
-    const auto& omega = meas.at(node).queueFullFraction;
+    const auto& omega = measOf(node).queueFullFraction;
     bool sat = false;
     if (const auto it = omega.find(dest); it != omega.end()) {
       sat = it->second > params_.omegaThreshold;
@@ -139,10 +193,11 @@ Snapshot Controller::assembleSnapshot(
       return 0.0;
     };
     std::map<net::FlowId, double> mus;
-    const auto& down = meas.at(key.from).downstream;
+    const auto& down = measOf(key.from).downstream;
+    const double fromSeconds = periodSecondsOf(key.from);
     if (const auto it = down.find(key.dest);
-        it != down.end() && !it->second.flowMu.empty()) {
-      vl.ratePps = it->second.packets / periodSecondsOf(key.from);
+        it != down.end() && !it->second.flowMu.empty() && fromSeconds > 0.0) {
+      vl.ratePps = it->second.packets / fromSeconds;
       for (const auto& [id, staleMu] : it->second.flowMu) {
         mus[id] = currentMu(id);
       }
@@ -160,12 +215,14 @@ Snapshot Controller::assembleSnapshot(
   }
 
   // Wireless links: occupancy from the MAC, normalized rate as the max
-  // over the link's virtual links.
+  // over the link's virtual links. A sender with an empty window has no
+  // airtime to report; its occupancy is zero, not a division by zero.
   for (const topo::Link& l : contention_.links) {
     WLinkState wl;
     wl.link = l;
-    wl.occupancy =
-        net_.takeLinkOccupancy(l.from, l.to).asSeconds() / periodSecondsOf(l.from);
+    const double airtime = net_.takeLinkOccupancy(l.from, l.to).asSeconds();
+    const double seconds = periodSecondsOf(l.from);
+    wl.occupancy = seconds > 0.0 ? airtime / seconds : 0.0;
     for (const VLinkState& vl : snap.vlinks) {
       if (vl.key.wireless() == l) wl.normRate = std::max(wl.normRate, vl.normRate);
     }
@@ -176,6 +233,7 @@ Snapshot Controller::assembleSnapshot(
 }
 
 void Controller::tick() {
+  MAXMIN_PROFILE_SCOPE("gmp.tick");
   if (const sim::FaultPlane* faults = net_.faultPlane();
       faults != nullptr && faults->maxClockSkew() > Duration::zero()) {
     beginSkewedClose(*faults);
@@ -193,26 +251,29 @@ void Controller::beginSkewedClose(const sim::FaultPlane& faults) {
                    "clock skew " << maxSkew << " too large for period "
                                  << params_.period);
   ++skewedPeriods_;
-  pendingMeas_.clear();
 
   const int n = net_.topology().numNodes();
+  pendingMeas_.assign(static_cast<std::size_t>(n),
+                      net::NodePeriodMeasurement{});
   while (static_cast<int>(skewTimers_.size()) < n) {
     skewTimers_.push_back(std::make_unique<sim::Timer>(net_.simulator()));
   }
   for (topo::NodeId node = 0; node < n; ++node) {
     const Duration skew = faults.clockSkew(node);
     if (skew <= Duration::zero()) {
-      pendingMeas_.emplace(node, net_.closeMeasurementWindow(node));
+      pendingMeas_[static_cast<std::size_t>(node)] =
+          net_.closeMeasurementWindow(node);
     } else {
       skewTimers_[static_cast<std::size_t>(node)]->arm(skew, [this, node] {
-        pendingMeas_.emplace(node, net_.closeMeasurementWindow(node));
+        pendingMeas_[static_cast<std::size_t>(node)] =
+            net_.closeMeasurementWindow(node);
       });
     }
   }
   assembleTimer_.arm(maxSkew + Duration::millis(1), [this] {
-    auto meas = std::move(pendingMeas_);
+    Snapshot snap = assembleSnapshot(pendingMeas_);
     pendingMeas_.clear();
-    finishPeriod(assembleSnapshot(meas));
+    finishPeriod(std::move(snap));
   });
 }
 
@@ -220,6 +281,8 @@ void Controller::finishPeriod(Snapshot snapshot) {
   lastSnapshot_ = std::move(snapshot);
   const Snapshot& snap = lastSnapshot_;
   lastReport_ = engine_.decide(snap);
+  MAXMIN_GAUGE("gmp.commands_per_period",
+               static_cast<std::int64_t>(lastReport_.commands.size()));
 
   // Remember each flow's limit as it was just before its path went
   // stale, so recovery can restore the old operating point directly
@@ -243,6 +306,21 @@ void Controller::finishPeriod(Snapshot snapshot) {
         net_.setRateLimit(cmd.flow, std::nullopt);
         break;
     }
+    if (trace_ != nullptr && trace_->wantsEvents()) {
+      obs::JsonWriter w;
+      w.beginObject();
+      w.key("record").value("command");
+      w.key("period").value(periods_);
+      w.key("flow").value(static_cast<std::int64_t>(cmd.flow));
+      w.key("kind").value(cmd.kind == Command::Kind::kSetLimit
+                              ? "set_limit"
+                              : "remove_limit");
+      if (cmd.kind == Command::Kind::kSetLimit) {
+        w.key("limitPps").value(cmd.limitPps);
+      }
+      w.endObject();
+      trace_->writeRecord(w.str());
+    }
   }
 
   // Flows whose paths recovered this period: put back the pre-fault
@@ -252,8 +330,19 @@ void Controller::finishPeriod(Snapshot snapshot) {
     if (const auto it = preImpairmentLimit_.find(id);
         it != preImpairmentLimit_.end()) {
       net_.setRateLimit(id, it->second);
-      preImpairmentLimit_.erase(it);
       ++limitsRestored_;
+      MAXMIN_COUNT("gmp.limits_restored", 1);
+      if (trace_ != nullptr && trace_->wantsEvents()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("record").value("limit_restored");
+        w.key("period").value(periods_);
+        w.key("flow").value(static_cast<std::int64_t>(id));
+        if (it->second) w.key("limitPps").value(*it->second);
+        w.endObject();
+        trace_->writeRecord(w.str());
+      }
+      preImpairmentLimit_.erase(it);
     }
   }
   impairedPrev_ = snap.impairedFlows;
@@ -269,7 +358,90 @@ void Controller::finishPeriod(Snapshot snapshot) {
   std::map<net::FlowId, double> rates;
   for (const FlowState& fs : snap.flows) rates[fs.id] = fs.ratePps;
   rateHistory_.push_back(std::move(rates));
+  emitPeriodTrace();
   ++periods_;
+}
+
+void Controller::emitPeriodTrace() {
+  if (trace_ == nullptr) return;
+  const Snapshot& snap = lastSnapshot_;
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("record").value("period");
+  w.key("period").value(periods_);
+  w.key("timeUs").value(net_.simulator().now().asMicros());
+  w.key("flows").beginArray();
+  for (const FlowState& fs : snap.flows) {
+    w.beginObject();
+    w.key("id").value(static_cast<std::int64_t>(fs.id));
+    w.key("src").value(fs.src);
+    w.key("dst").value(fs.dst);
+    w.key("weight").value(fs.weight);
+    w.key("hops").value(flowHops_.at(fs.id));
+    w.key("desiredPps").value(fs.desiredPps);
+    w.key("ratePps").value(fs.ratePps);
+    w.key("mu").value(fs.mu());
+    if (fs.limitPps) w.key("limitPps").value(*fs.limitPps);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("vlinks").beginArray();
+  for (const VLinkState& vl : snap.vlinks) {
+    w.beginObject();
+    w.key("from").value(vl.key.from);
+    w.key("to").value(vl.key.to);
+    w.key("dest").value(vl.key.dest);
+    w.key("type").value(linkTypeName(vl.type));
+    w.key("ratePps").value(vl.ratePps);
+    w.key("normRate").value(vl.normRate);
+    w.key("primaryFlows").beginArray();
+    for (const net::FlowId id : vl.primaryFlows) {
+      w.value(static_cast<std::int64_t>(id));
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("wlinks").beginArray();
+  for (const WLinkState& wl : snap.wlinks) {
+    w.beginObject();
+    w.key("from").value(wl.link.from);
+    w.key("to").value(wl.link.to);
+    w.key("occupancy").value(wl.occupancy);
+    w.key("normRate").value(wl.normRate);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("saturatedVnodes").beginArray();
+  for (const auto& [nodeDest, sat] : snap.saturated) {
+    if (!sat) continue;
+    w.beginObject();
+    w.key("node").value(nodeDest.first);
+    w.key("dest").value(nodeDest.second);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("staleNodes").beginArray();
+  for (const topo::NodeId n : snap.staleNodes) w.value(n);
+  w.endArray();
+  w.key("impairedFlows").beginArray();
+  for (const net::FlowId id : snap.impairedFlows) {
+    w.value(static_cast<std::int64_t>(id));
+  }
+  w.endArray();
+  w.key("decision").beginObject();
+  w.key("sourceBufferViolations").value(lastReport_.sourceBufferViolations);
+  w.key("bandwidthViolations").value(lastReport_.bandwidthViolations);
+  w.key("reduceRequests").value(lastReport_.reduceRequests);
+  w.key("increaseRequests").value(lastReport_.increaseRequests);
+  w.key("additiveIncreases").value(lastReport_.additiveIncreases);
+  w.key("limitsRemoved").value(lastReport_.limitsRemoved);
+  w.key("staleDecays").value(lastReport_.staleDecays);
+  w.key("commands").value(
+      static_cast<std::int64_t>(lastReport_.commands.size()));
+  w.endObject();
+  w.endObject();
+  trace_->writeRecord(w.str());
 }
 
 }  // namespace maxmin::gmp

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace maxmin::gmp {
@@ -123,6 +124,7 @@ void Engine::decayImpairedFlows(const Snapshot& s,
         std::max(params_.minRatePps, base * params_.staleDecayFactor);
     report.commands.push_back(Command{f.id, Command::Kind::kSetLimit, target});
     ++report.staleDecays;
+    MAXMIN_COUNT("gmp.adjust.stale_decay", 1);
   }
 }
 
@@ -180,16 +182,35 @@ void Engine::checkSourceAndBufferConditions(const Snapshot& s,
     if (!std::isfinite(l1) || !std::isfinite(s1)) continue;  // nothing to equalize
     if (cmp_.equal(s1, l1)) continue;                        // satisfied
     ++report.sourceBufferViolations;
+    MAXMIN_COUNT("gmp.violations.source_buffer", 1);
 
     const bool wideGap = l1 > params_.bigGapFactor * s1;
     const double reduceFactor = wideGap ? 0.5 : 1.0 - params_.beta;
     const double increaseFactor = wideGap ? 2.0 : 1.0 + params_.beta;
 
+    // One call site per metric name: the instrumentation macros cache
+    // their registry handle in a per-site static, so the counter picked
+    // must be compile-time fixed at each site.
+    auto countReduce = [&] {
+      if (wideGap) {
+        MAXMIN_COUNT("gmp.adjust.halve", 1);
+      } else {
+        MAXMIN_COUNT("gmp.adjust.beta_down", 1);
+      }
+    };
+    auto countIncrease = [&] {
+      if (wideGap) {
+        MAXMIN_COUNT("gmp.adjust.double", 1);
+      } else {
+        MAXMIN_COUNT("gmp.adjust.beta_up", 1);
+      }
+    };
     auto reducePrimaries = [&](const VLinkState& vl) {
       for (net::FlowId id : vl.primaryFlows) {
         if (const FlowState* f = findFlow(s, id)) {
           requests[id].push_back(Request{true, adjustBase(*f) * reduceFactor});
           ++report.reduceRequests;
+          countReduce();
         }
       }
     };
@@ -200,6 +221,7 @@ void Engine::checkSourceAndBufferConditions(const Snapshot& s,
           requests[id].push_back(
               Request{false, adjustBase(*f) * increaseFactor});
           ++report.increaseRequests;
+          countIncrease();
         }
       }
     };
@@ -215,11 +237,13 @@ void Engine::checkSourceAndBufferConditions(const Snapshot& s,
       if (cmp_.equal(f->mu(), l1)) {
         requests[f->id].push_back(Request{true, adjustBase(*f) * reduceFactor});
         ++report.reduceRequests;
+        countReduce();
       }
       if (cmp_.equal(f->mu(), s1) && f->limitPps.has_value()) {
         requests[f->id].push_back(
             Request{false, adjustBase(*f) * increaseFactor});
         ++report.increaseRequests;
+        countIncrease();
       }
     }
   }
@@ -310,6 +334,7 @@ void Engine::checkBandwidthCondition(const Snapshot& s, RequestMap& requests,
     }
     if (satisfiedSomewhere) continue;
     ++report.bandwidthViolations;
+    MAXMIN_COUNT("gmp.violations.bandwidth", 1);
 
     // Collect the member links of all saturated cliques.
     std::vector<topo::Link> members;
@@ -333,6 +358,7 @@ void Engine::checkBandwidthCondition(const Snapshot& s, RequestMap& requests,
               requests[id].push_back(
                   Request{true, adjustBase(*f) * (1.0 - params_.beta)});
               ++report.reduceRequests;
+              MAXMIN_COUNT("gmp.adjust.beta_down", 1);
             }
           }
         }
@@ -344,6 +370,7 @@ void Engine::checkBandwidthCondition(const Snapshot& s, RequestMap& requests,
               requests[id].push_back(
                   Request{false, adjustBase(*f) * (1.0 + params_.beta)});
               ++report.increaseRequests;
+              MAXMIN_COUNT("gmp.adjust.beta_up", 1);
             }
           }
         }
@@ -411,6 +438,7 @@ void Engine::resolveRequests(const Snapshot& s, const RequestMap& requests,
           f.id, Command::Kind::kSetLimit,
           *f.limitPps + params_.additiveIncreasePps});
       ++report.additiveIncreases;
+      MAXMIN_COUNT("gmp.adjust.additive", 1);
     } else {
       const auto satIt = s.saturated.find({f.src, f.dst});
       const bool sourceSaturated = satIt != s.saturated.end() && satIt->second;
@@ -419,6 +447,7 @@ void Engine::resolveRequests(const Snapshot& s, const RequestMap& requests,
       if (!sourceSaturated && clearlySlack) {
         report.commands.push_back(Command{f.id, Command::Kind::kRemoveLimit});
         ++report.limitsRemoved;
+        MAXMIN_COUNT("gmp.adjust.remove_limit", 1);
       }
     }
   }

@@ -1,5 +1,7 @@
 #include "net/node_stack.hpp"
 
+#include "obs/registry.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -82,6 +84,7 @@ bool NodeStack::queueExistsFor(topo::NodeId dest) const {
 void NodeStack::enqueue(PacketPtr p) {
   const QueueKey key = keyFor(*p);
   PacketQueue& q = queueFor(key);
+  MAXMIN_HIST("net.queue_occupancy", static_cast<std::int64_t>(q.size()));
   if (q.full()) {
     switch (ctx_.config().discipline) {
       case QueueDiscipline::kPerDestination:
@@ -93,9 +96,11 @@ void NodeStack::enqueue(PacketPtr p) {
         break;
       case QueueDiscipline::kPerFlow:
         ++dropsTail_;  // drop-tail on the arriving packet
+        MAXMIN_COUNT("net.drops_tail", 1);
         return;
       case QueueDiscipline::kSharedFifo:
         ++dropsTail_;  // "overwrite the packet at the tail of the queue"
+        MAXMIN_COUNT("net.drops_tail", 1);
         q.overwriteTail(std::move(p));
         return;
     }
@@ -229,6 +234,7 @@ void NodeStack::setOperational(bool up) {
     // node's "full" advertisements were about to justify.
     for (auto& [key, q] : queues_) {
       dropsAtCrash_ += static_cast<std::int64_t>(q.size());
+      MAXMIN_COUNT("net.drops_at_crash", static_cast<std::int64_t>(q.size()));
       while (!q.empty()) q.popFront(now());
     }
     for (auto& [id, s] : sources_) s.timer->cancel();
@@ -239,6 +245,14 @@ void NodeStack::setOperational(bool up) {
     upSample_.clear();
     admittedInWindow_.clear();
   } else {
+    // Everything accumulated before the crash was lost with it, so the
+    // measurement window restarts here: rates must be averaged over the
+    // node's live time only, not the span that includes the outage. A
+    // recovery landing exactly on a period boundary therefore yields a
+    // zero-length window, which closeMeasurementWindow reports as
+    // periodSeconds == 0 for the control plane to bridge.
+    windowStart_ = now();
+    for (auto& [key, q] : queues_) q.beginWindow(now());
     // Sorted flow order: each restart draws jitter from rng_, so the
     // iteration order is part of the deterministic replay.
     for (const FlowId id : localFlows()) {
@@ -334,7 +348,11 @@ std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
       // Dead-neighbor liveness: packets routed through a written-off
       // next hop drain to drops here rather than wedging the queue (and
       // everything upstream of it) forever.
-      dropsDeadNextHop_ += drainDeadFront(key, q);
+      {
+        const std::int64_t drained = drainDeadFront(key, q);
+        dropsDeadNextHop_ += drained;
+        if (drained > 0) MAXMIN_COUNT("net.drops_dead_next_hop", drained);
+      }
       if (q.empty()) continue;
     }
     const topo::NodeId dest = destOf(key, q);
@@ -350,6 +368,7 @@ std::optional<mac::TxRequest> NodeStack::nextTxRequest() {
               : topo::kNoNode;
       TimePoint expiry;
       if (heldByBackpressure(nh, bpKey, expiry)) {
+        MAXMIN_COUNT("net.backpressure_stalls", 1);
         anyHeld = true;
         earliestExpiry = std::min(earliestExpiry, expiry);
         continue;
@@ -381,6 +400,7 @@ void NodeStack::onTxFailure(const mac::TxRequest& request) {
       // instead of requeueing into a guaranteed retry loop. The MAC is
       // freed to serve other queues immediately.
       ++dropsDeadNextHop_;
+      MAXMIN_COUNT("net.drops_dead_next_hop", 1);
       if (mac_ != nullptr) mac_->notifyTrafficPending();
       return;
     }
@@ -476,7 +496,17 @@ NodePeriodMeasurement NodeStack::closeMeasurementWindow() {
   m.node = self_;
   const TimePoint end = now();
   m.periodSeconds = (end - windowStart_).asSeconds();
-  MAXMIN_CHECK(m.periodSeconds > 0.0);
+  MAXMIN_CHECK(m.periodSeconds >= 0.0);
+  if (m.periodSeconds <= 0.0) {
+    // Recovery landed exactly on the period boundary: there was no live
+    // time to measure. Hand back an explicitly empty window (rates are
+    // undefined, not zero) and let the controller's staleness machinery
+    // bridge or mark this node.
+    downSample_.clear();
+    upSample_.clear();
+    admittedInWindow_.clear();
+    return m;
+  }
 
   if (ctx_.config().discipline == QueueDiscipline::kPerDestination) {
     for (auto& [key, q] : queues_) {

@@ -1,0 +1,117 @@
+// Minimal streaming JSON builder for trace records.
+//
+// Deterministic by construction: fields are emitted in call order, doubles
+// are printed with max_digits10 significant digits (lossless round-trip,
+// identical text for identical bits), and nothing depends on locale or
+// pointer order. Two runs that produce the same values produce the same
+// bytes — the property the fixed-seed trace tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maxmin::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { os_.precision(17); }
+
+  JsonWriter& beginObject() {
+    comma();
+    os_ << '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& endObject() {
+    os_ << '}';
+    pop();
+    return *this;
+  }
+  JsonWriter& beginArray() {
+    comma();
+    os_ << '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& endArray() {
+    os_ << ']';
+    pop();
+    return *this;
+  }
+
+  /// Key inside an object; must be followed by exactly one value.
+  JsonWriter& key(std::string_view k) {
+    comma();
+    escaped(k);
+    os_ << ':';
+    pendingKey_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    comma();
+    escaped(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  void comma() {
+    if (pendingKey_) {
+      pendingKey_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+  void pop() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+  void escaped(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            os_ << "\\u0000";  // control chars never appear in our names
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> stack_;  ///< per open container: "wrote an element"
+  bool pendingKey_ = false;
+};
+
+}  // namespace maxmin::obs

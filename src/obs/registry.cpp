@@ -1,0 +1,126 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <ostream>
+
+namespace maxmin::obs {
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  const int bucket =
+      v == 0 ? 0
+             : std::min(kBuckets - 1,
+                        64 - std::countl_zero(static_cast<std::uint64_t>(v)));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const auto rank = static_cast<std::int64_t>(p * static_cast<double>(n - 1));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      // Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
+      return i == 0 ? 0 : (std::int64_t{1} << i) - 1;
+    }
+  }
+  return std::int64_t{1} << (kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::atomic<bool>& Registry::enabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counterValues()
+    const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+void Registry::printTable(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      os << "  " << name << " = " << c->value() << '\n';
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "gauges (last / max):\n";
+    for (const auto& [name, g] : gauges_) {
+      os << "  " << name << " = " << g->value() << " / " << g->maxValue()
+         << '\n';
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "histograms (n / mean / p50 / p99):\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << name << " = " << h->count() << " / " << h->mean() << " / "
+         << h->percentile(0.5) << " / " << h->percentile(0.99) << '\n';
+    }
+  }
+}
+
+}  // namespace maxmin::obs

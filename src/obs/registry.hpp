@@ -1,0 +1,213 @@
+// Metrics registry: named monotonic counters, gauges, and fixed-bucket
+// histograms, with zero-cost-when-disabled instrumentation macros.
+//
+// Two gates, by design:
+//   * compile time — the MAXMIN_COUNT / MAXMIN_GAUGE / MAXMIN_HIST macros
+//     expand to nothing unless the build sets MAXMIN_OBSERVABILITY=1
+//     (CMake option MAXMIN_OBSERVABILITY), so the default build carries
+//     no instrumentation at all in its hot paths;
+//   * run time — even when compiled in, every macro first checks
+//     Registry::enabled() (one relaxed atomic load and a branch), so an
+//     instrumented binary that nobody asked to measure stays quiet.
+//
+// Metrics never feed back into simulation state: enabling or disabling
+// observability cannot change a run's results, only record them. All
+// mutators are atomic with relaxed ordering — exp::SweepRunner runs one
+// simulation per thread and they all share this process-wide registry.
+//
+// Instrumented values are process-global, not per-Simulator: the registry
+// answers "what did this process do", which is the right granularity for
+// the CLI and for overhead benches. Tests reset() between cases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maxmin::obs {
+
+/// Monotonic event count. add() is relaxed-atomic: counts from concurrent
+/// sweep workers interleave, totals stay exact.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written level (queue depth, pending events, ...). Also tracks the
+/// high-water mark, which is usually the number a report wants.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t maxValue() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples. Bucket i
+/// holds samples whose value v satisfies 2^(i-1) <= v < 2^i (bucket 0
+/// holds v == 0), so the geometry is static — no rebalancing, and
+/// percentile queries are a prefix scan over 64 counters.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t v);
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const;
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
+  [[nodiscard]] std::int64_t percentile(double p) const;
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Process-wide named-metric registry. Registration (the first hit of an
+/// instrumentation site) takes a mutex; after that the site holds a
+/// stable reference and never looks the name up again.
+class Registry {
+ public:
+  static Registry& global();
+
+  static bool enabled() {
+    return enabledFlag().load(std::memory_order_relaxed);
+  }
+  static void setEnabled(bool on) {
+    enabledFlag().store(on, std::memory_order_relaxed);
+  }
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zero every metric (registration survives). Tests and back-to-back
+  /// CLI phases use this to scope measurements.
+  void reset();
+
+  /// Sorted (name, value) view of all counters — the deterministic
+  /// report form.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
+  counterValues() const;
+
+  /// Human-readable dump of everything, sorted by name within each kind.
+  void printTable(std::ostream& os) const;
+
+ private:
+  static std::atomic<bool>& enabledFlag();
+
+  mutable std::mutex mu_;
+  // Sorted maps: iteration order is the deterministic dump order.
+  // unique_ptr values pin addresses across rehashing-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace maxmin::obs
+
+// --------------------------------------------------------------------------
+// Instrumentation macros. `name` must be a string literal; the looked-up
+// metric is cached in a function-local static so the steady-state cost is
+// one relaxed load, one branch, one relaxed add.
+// --------------------------------------------------------------------------
+
+#define MAXMIN_OBS_CONCAT_INNER(a, b) a##b
+#define MAXMIN_OBS_CONCAT(a, b) MAXMIN_OBS_CONCAT_INNER(a, b)
+
+// Instrumentation is dormant in the common case; the hint keeps the
+// recording path out of line so a disabled site costs one predicted
+// branch in the hot code.
+#define MAXMIN_OBS_UNLIKELY(x) __builtin_expect(static_cast<bool>(x), 0)
+
+#if defined(MAXMIN_OBSERVABILITY) && MAXMIN_OBSERVABILITY
+
+#define MAXMIN_COUNT(name, delta)                                       \
+  do {                                                                  \
+    if (MAXMIN_OBS_UNLIKELY(::maxmin::obs::Registry::enabled())) {      \
+      static ::maxmin::obs::Counter& MAXMIN_OBS_CONCAT(                 \
+          maxminObsCounter, __LINE__) =                                 \
+          ::maxmin::obs::Registry::global().counter(name);              \
+      MAXMIN_OBS_CONCAT(maxminObsCounter, __LINE__).add(delta);         \
+    }                                                                   \
+  } while (false)
+
+#define MAXMIN_GAUGE(name, value)                                       \
+  do {                                                                  \
+    if (MAXMIN_OBS_UNLIKELY(::maxmin::obs::Registry::enabled())) {      \
+      static ::maxmin::obs::Gauge& MAXMIN_OBS_CONCAT(maxminObsGauge,    \
+                                                     __LINE__) =        \
+          ::maxmin::obs::Registry::global().gauge(name);                \
+      MAXMIN_OBS_CONCAT(maxminObsGauge, __LINE__).set(value);           \
+    }                                                                   \
+  } while (false)
+
+#define MAXMIN_HIST(name, value)                                        \
+  do {                                                                  \
+    if (MAXMIN_OBS_UNLIKELY(::maxmin::obs::Registry::enabled())) {      \
+      static ::maxmin::obs::Histogram& MAXMIN_OBS_CONCAT(               \
+          maxminObsHist, __LINE__) =                                    \
+          ::maxmin::obs::Registry::global().histogram(name);            \
+      MAXMIN_OBS_CONCAT(maxminObsHist, __LINE__).record(value);         \
+    }                                                                   \
+  } while (false)
+
+#else  // observability compiled out: the macros vanish entirely.
+
+// sizeof() keeps the operands syntactically checked without evaluating
+// them, so a site can't bit-rot while the option is off.
+#define MAXMIN_COUNT(name, delta) \
+  do {                            \
+    (void)sizeof(name);           \
+    (void)sizeof(delta);          \
+  } while (false)
+#define MAXMIN_GAUGE(name, value) \
+  do {                            \
+    (void)sizeof(name);           \
+    (void)sizeof(value);          \
+  } while (false)
+#define MAXMIN_HIST(name, value) \
+  do {                           \
+    (void)sizeof(name);          \
+    (void)sizeof(value);         \
+  } while (false)
+
+#endif  // MAXMIN_OBSERVABILITY

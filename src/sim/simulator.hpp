@@ -30,6 +30,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
 #include "sim/event_fn.hpp"
 #include "util/check.hpp"
 #include "util/time.hpp"
@@ -90,6 +92,7 @@ class Simulator {
     retire(slot);
     --live_;
     ++dead_;  // its queue key is now a tombstone; dropped at pop/compact
+    ++cancelled_;
     if (dead_ > kCompactMinDead && dead_ > live_) compact();
   }
 
@@ -112,7 +115,18 @@ class Simulator {
     ++r.gen;
     --live_;
     ++executed_;
-    r.fn();
+    if (MAXMIN_OBS_UNLIKELY(obs::Profiler::enabled())) {
+      // Kernel-level catch-all site; callbacks refine attribution with
+      // their own MAXMIN_PROFILE_SCOPE sites (nested times overlap).
+      static const obs::SiteId kStepSite =
+          obs::Profiler::global().site("sim.step");
+      const std::int64_t t0 = obs::Profiler::wallNanos();
+      r.fn();
+      obs::Profiler::global().record(kStepSite,
+                                     obs::Profiler::wallNanos() - t0);
+    } else {
+      r.fn();
+    }
     r.fn.reset();
     r.nextFree = freeHead_;  // freed only now: the callback can't reuse it
     freeHead_ = top.slot;
@@ -123,6 +137,7 @@ class Simulator {
   void run() {
     while (step()) {
     }
+    publishObsMetrics();
   }
 
   /// Run events with timestamp <= `until`, then set the clock to `until`.
@@ -138,6 +153,7 @@ class Simulator {
     }
     MAXMIN_CHECK(now_ <= until);  // monotonic: step never overshoots
     now_ = until;
+    publishObsMetrics();
   }
 
   /// Number of pending (non-cancelled) events.
@@ -224,6 +240,7 @@ class Simulator {
     r.fn = std::move(fn);
     pushKey(Key{when, nextSeq_++, slot, r.gen});
     ++live_;
+    if (live_ > maxLive_) maxLive_ = live_;
     return makeId(slot, r.gen);
   }
 
@@ -271,6 +288,17 @@ class Simulator {
     }
   }
 
+  /// Publish kernel activity to the metrics registry as deltas since the
+  /// last publish. Per-op instrumentation would bloat the inlined hot
+  /// paths even when dormant, so the kernel counts in plain members and
+  /// run()/runUntil() reconcile at their exit — counters therefore cover
+  /// activity up to the last completed run boundary, and enabling the
+  /// registry mid-run takes effect at that boundary. The markers advance
+  /// unconditionally so a later enable never back-credits earlier runs.
+  /// Defined out of line so the header's inline hot paths compile to the
+  /// same code whether or not observability is built in.
+  void publishObsMetrics();
+
   void insertIntoRun(const Key& key);
   void refillRun();
   void rebuildWindow();
@@ -295,10 +323,16 @@ class Simulator {
   std::int64_t bucketWidthUs_ = 1;
   std::vector<Key> far_;  ///< unsorted keys at/after windowEnd_
 
-  std::size_t live_ = 0;  ///< pending (non-cancelled) events
-  std::size_t dead_ = 0;  ///< tombstone keys still in some tier
+  std::size_t live_ = 0;     ///< pending (non-cancelled) events
+  std::size_t dead_ = 0;     ///< tombstone keys still in some tier
+  std::size_t maxLive_ = 0;  ///< high-water mark of live_
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  // Publish markers: portion of each count already sent to the registry.
+  std::uint64_t pubScheduled_ = 0;
+  std::uint64_t pubExecuted_ = 0;
+  std::uint64_t pubCancelled_ = 0;
 };
 
 }  // namespace maxmin::sim

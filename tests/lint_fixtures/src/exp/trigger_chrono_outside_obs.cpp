@@ -1,0 +1,14 @@
+// Fixture: raw std::chrono in analysis/experiment code must fire
+// [chrono-outside-obs] — wall time is read via obs::Profiler::wallNanos().
+#include <chrono>
+
+namespace maxmin::exp {
+
+double elapsedSeconds() {
+  const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace maxmin::exp

@@ -1,0 +1,13 @@
+// Fixture: src/obs/ is the one home of std::chrono — the profiler's
+// wallNanos() read lives there, so the rule must stay silent here.
+#include <chrono>
+
+namespace maxmin::obs {
+
+long long fixtureWallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace maxmin::obs

@@ -227,6 +227,64 @@ TEST(GmpDegradation, ClockSkewStaggersPeriodClosesAndStillAdjusts) {
   }
 }
 
+TEST(GmpDegradation, RecoveryAtExactPeriodBoundaryDoesNotAbort) {
+  // Recovery lands exactly on the 4 s period boundary: the node's fresh
+  // measurement window is zero-length at the close that follows in the
+  // same instant. Pre-fix this aborted assembleSnapshot ("empty
+  // measurement window"); now the controller bridges the node with its
+  // cached measurement for that one period.
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("crash 1 6; recover 1 8"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  ASSERT_NO_THROW(net.run(Duration::seconds(21.0)));
+
+  EXPECT_EQ(controller.periodsRun(), 5);
+  EXPECT_EQ(controller.staleMeasurementsUsed(), 1)
+      << "exactly the boundary period substitutes the cached measurement";
+  EXPECT_TRUE(controller.lastSnapshot().staleNodes.empty())
+      << "one bridged period must not leave the node stale";
+  for (const auto& fs : controller.lastSnapshot().flows) {
+    EXPECT_GT(fs.ratePps, 0.0) << "flow " << fs.id;
+  }
+}
+
+TEST(GmpDegradation, ChurnedSourceFlowIsImpairedWhileBridged) {
+  // Node 2 sources flow 2 and crashes mid-period. While its cached
+  // measurement bridges the gap, the flow's "measured" rate is the
+  // pre-crash localFlowRate reported as if live — the controller must
+  // flag the flow impaired instead of letting the engine adjust on it.
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("crash 2 6"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(9.0));  // two boundaries: t=4 clean, t=8 bridged
+
+  EXPECT_EQ(controller.staleMeasurementsUsed(), 1);
+  const auto& snap = controller.lastSnapshot();
+  EXPECT_TRUE(snap.staleNodes.empty()) << "still within the TTL";
+  EXPECT_TRUE(snap.impairedFlows.contains(2))
+      << "flow sourced at the bridged node reports a ghost rate";
+  EXPECT_FALSE(snap.impairedFlows.contains(0));
+}
+
+TEST(GmpDegradation, CachedMeasurementsArePrunedPastTtl) {
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("crash 1 6"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+
+  net.run(Duration::seconds(5.0));  // one clean period: everyone cached
+  EXPECT_EQ(controller.cachedMeasurements(), 4u);
+  net.run(Duration::seconds(12.0));  // t=17: node 1 unusable 3 periods > TTL 2
+  EXPECT_EQ(controller.cachedMeasurements(), 3u)
+      << "the dead node's cache must age out with the TTL";
+  EXPECT_TRUE(controller.lastSnapshot().staleNodes.contains(1));
+}
+
 // --- the acceptance experiment ----------------------------------------------
 
 TEST(GmpDegradation, Fig4CrashRecoveryWithBurstyControlLossReconverges) {

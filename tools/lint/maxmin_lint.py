@@ -27,6 +27,13 @@ DESIGN.md §10):
                    friends returning EventId) must be [[nodiscard]]: a
                    dropped handle is an uncancellable event, the exact
                    shape of the PR-1 cancelled-set leak.
+  chrono-outside-obs
+                   obs::Profiler::wallNanos() (src/obs/profile.cpp) is
+                   the project's single sanctioned wall-clock read; raw
+                   std::chrono anywhere else either duplicates it or —
+                   worse — leaks host time into results that must be a
+                   pure function of the seed. (Simulation subsystems are
+                   covered by the stricter wall-clock rule instead.)
 
 Suppressions:
   // maxmin-lint: allow(<rule>) <reason>        one line
@@ -120,6 +127,23 @@ RULES = [
             r"\bstd::function\s*<",
         ],
         lambda rel: rel.startswith("src/sim/"),
+    ),
+    Rule(
+        "chrono-outside-obs",
+        "raw std::chrono outside src/obs/; wall time is read through "
+        "obs::Profiler::wallNanos() only (src/obs/profile.cpp)",
+        [
+            r"\bstd::chrono\b",
+            r"^\s*#\s*include\s*<chrono>",
+        ],
+        # SIM_SCOPE is excluded only because the wall-clock rule already
+        # owns those paths (one finding per sin, and fixtures require a
+        # trigger to fire exactly one rule).
+        lambda rel: (
+            rel.startswith(("src/", "tools/", "bench/", "examples/"))
+            and not rel.startswith("src/obs/")
+            and not rel.startswith(SIM_SCOPE)
+        ),
     ),
     Rule(
         "nodiscard-handle",

@@ -16,11 +16,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "analysis/experiment.hpp"
+#include "analysis/trace_replay.hpp"
 #include "exp/sweep.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "scenarios/scenarios.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +51,11 @@ struct Options {
   double per = 0.0;       // uniform per-frame loss probability
   std::string ge;         // "pGoodToBad:pBadToGood:lossBad"
   std::string impairScope = "all";
+  std::string trace;      // JSONL trace output path; empty = no tracing
+  std::string traceLevel = "period";  // period|event
+  bool profile = false;   // per-site wall-time histograms on stderr
+  bool metrics = false;   // metrics-registry dump on stderr (needs
+                          // a MAXMIN_OBSERVABILITY=ON build to be non-empty)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -66,7 +76,13 @@ struct Options {
       << "              \"crash 1 60; recover 1 100\" (see sim/fault_plane.hpp)\n"
       << "  --per       uniform per-frame loss probability      (default 0)\n"
       << "  --ge        Gilbert-Elliott bursty loss, pGoodToBad:pBadToGood:lossBad\n"
-      << "  --impair-scope  all|control|data   frames hit by --per/--ge\n";
+      << "  --impair-scope  all|control|data   frames hit by --per/--ge\n"
+      << "  --trace FILE        write a structured JSONL trace of every GMP\n"
+      << "                      period (fixed seed => byte-identical file)\n"
+      << "  --trace-level  period|event        trace granularity (default period)\n"
+      << "  --profile   print per-callback-site wall-time histograms\n"
+      << "  --metrics   print the metrics registry (counters are compiled\n"
+      << "              in only with -DMAXMIN_OBSERVABILITY=ON)\n";
   std::exit(2);
 }
 
@@ -112,6 +128,14 @@ Options parse(int argc, char** argv) {
       o.ge = value();
     } else if (arg == "--impair-scope") {
       o.impairScope = value();
+    } else if (arg == "--trace") {
+      o.trace = value();
+    } else if (arg == "--trace-level") {
+      o.traceLevel = value();
+    } else if (arg == "--profile") {
+      o.profile = true;
+    } else if (arg == "--metrics") {
+      o.metrics = true;
     } else {
       usage(argv[0]);
     }
@@ -273,6 +297,23 @@ int main(int argc, char** argv) {
   const Options options = parse(argc, argv);
   const auto scenario = pickScenario(options);
 
+  if (options.profile) obs::Profiler::setEnabled(true);
+  if (options.metrics) obs::Registry::setEnabled(true);
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!options.trace.empty()) {
+    const auto level = obs::parseTraceLevel(options.traceLevel);
+    if (!level) {
+      std::cerr << "unknown --trace-level '" << options.traceLevel
+                << "' (expected period|event)\n";
+      return 2;
+    }
+    trace = obs::TraceSink::openFile(options.trace, *level);
+    if (!trace) {
+      std::cerr << "cannot write trace file " << options.trace << "\n";
+      return 2;
+    }
+  }
+
   analysis::RunConfig cfg;
   cfg.protocol = pickProtocol(options);
   cfg.duration = Duration::seconds(options.durationSeconds);
@@ -284,6 +325,7 @@ int main(int argc, char** argv) {
   }
   if (!options.faults.empty()) cfg.faults = loadFaultScript(options.faults);
   cfg.netBase.impairments = makeImpairments(options);
+  cfg.trace = trace.get();
 
   if (options.sweep) return runSweep(scenario, cfg, options);
 
@@ -345,5 +387,8 @@ int main(int argc, char** argv) {
       std::cout << '\n';
     }
   }
+  // Diagnostics go to stderr so --csv output stays machine-clean.
+  if (options.profile) obs::Profiler::global().printTable(std::cerr);
+  if (options.metrics) obs::Registry::global().printTable(std::cerr);
   return 0;
 }

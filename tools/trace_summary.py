@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""trace_summary — per-period digest of a maxmin-sim structured trace.
+
+Reads the JSONL written by `maxmin-sim --trace out.jsonl` and prints one
+row per GMP period with the recomputed fairness indices: I_mm (min/max
+rate), I_eq (Jain's index), U (sum of rate * hops), plus the decision
+counts the controller recorded. This is the Python twin of
+analysis::traceReplay — the same reduction, for plotting pipelines.
+
+Usage:
+  tools/trace_summary.py out.jsonl            human-readable table
+  tools/trace_summary.py out.jsonl --csv      CSV (for gnuplot/pandas)
+  tools/trace_summary.py out.jsonl --events   also count event records
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fairness(flows):
+    """-> (imm, ieq, u) over the period's flow records."""
+    rates = [f["ratePps"] for f in flows]
+    if not rates:
+        return 1.0, 1.0, 0.0
+    imm = min(rates) / max(rates) if max(rates) > 0 else 1.0
+    sq = sum(r * r for r in rates)
+    ieq = (sum(rates) ** 2) / (len(rates) * sq) if sq > 0 else 1.0
+    u = sum(f["ratePps"] * f["hops"] for f in flows)
+    return imm, ieq, u
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace from maxmin-sim --trace")
+    parser.add_argument("--csv", action="store_true", help="emit CSV")
+    parser.add_argument("--events", action="store_true",
+                        help="append per-record-type event counts")
+    args = parser.parse_args(argv)
+
+    periods = []
+    event_counts = {}
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"{args.trace}:{lineno}: bad JSON: {e}",
+                          file=sys.stderr)
+                    return 1
+                kind = rec.get("record")
+                if kind == "period":
+                    periods.append(rec)
+                else:
+                    event_counts[kind] = event_counts.get(kind, 0) + 1
+    except OSError as e:
+        print(f"cannot read {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    header = ["period", "time_s", "flows", "I_mm", "I_eq",
+              "U_pkt_hops_per_s", "violations", "commands", "stale_nodes",
+              "impaired_flows"]
+    rows = []
+    for rec in periods:
+        imm, ieq, u = fairness(rec.get("flows", []))
+        decision = rec.get("decision", {})
+        violations = (decision.get("sourceBufferViolations", 0) +
+                      decision.get("bandwidthViolations", 0))
+        rows.append([
+            rec["period"],
+            f"{rec['timeUs'] / 1e6:.3f}",
+            len(rec.get("flows", [])),
+            f"{imm:.4f}",
+            f"{ieq:.4f}",
+            f"{u:.1f}",
+            violations,
+            decision.get("commands", 0),
+            len(rec.get("staleNodes", [])),
+            len(rec.get("impairedFlows", [])),
+        ])
+
+    if args.csv:
+        print(",".join(header))
+        for row in rows:
+            print(",".join(str(c) for c in row))
+    else:
+        widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+                  if rows else len(str(h))
+                  for i, h in enumerate(header)]
+        print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+    if args.events and event_counts:
+        print()
+        for kind in sorted(event_counts):
+            print(f"{kind}: {event_counts[kind]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
