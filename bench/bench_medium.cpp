@@ -1,0 +1,134 @@
+// Microbenchmarks for the PHY frame pipeline (phys::Medium): isolated
+// start/finish cost on constant-density random meshes, worst-case dense
+// same-instant bursts, and a dense macro scenario under the full DES.
+// tools/emit_bench_kernel.sh --medium runs these and emits
+// BENCH_medium.json, the frame-pipeline performance trajectory artifact.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/configs.hpp"
+#include "net/network.hpp"
+#include "phys/medium.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace maxmin;
+
+/// Counts deliveries/corruptions; ignores carrier-sense transitions. The
+/// counters keep the compiler from discarding the reception work.
+class CountingRadio final : public phys::RadioListener {
+ public:
+  void onChannelBusy() override {}
+  void onChannelIdle() override {}
+  void onFrameReceived(const phys::Frame&) override { ++received; }
+  void onFrameCorrupted(const phys::Frame&) override { ++corrupted; }
+  std::int64_t received = 0;
+  std::int64_t corrupted = 0;
+};
+
+phys::Frame dataFrame(topo::NodeId from, std::int64_t micros) {
+  phys::Frame f;
+  f.kind = phys::FrameKind::kData;
+  f.transmitter = from;
+  f.addressee = topo::kNoNode;  // Medium delivers to every node in range
+  f.duration = Duration::micros(micros);
+  return f;
+}
+
+/// A Medium with one counting radio per node and no MAC above it.
+struct Harness {
+  explicit Harness(topo::Topology t)
+      : topo{std::move(t)},
+        medium{sim, topo},
+        radios(static_cast<std::size_t>(topo.numNodes())) {
+    for (topo::NodeId n = 0; n < topo.numNodes(); ++n) {
+      medium.attachRadio(n, &radios[static_cast<std::size_t>(n)]);
+    }
+  }
+  sim::Simulator sim;
+  topo::Topology topo;
+  phys::Medium medium;
+  std::vector<CountingRadio> radios;
+};
+
+/// Staggered start/finish churn: every node transmits one 100 us frame at
+/// a random offset within a 400 us window, repeated for `kRounds` rounds
+/// per iteration — the workload shape of a loaded but not pathological
+/// mesh (partial overlap, mixed clean/corrupted receptions).
+void BM_MediumStartFinish(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto sc = scenarios::randomMesh(
+      99, n, scenarios::meshSideForDegree(n, 5.0), 2);
+  Harness h{sc.topology};
+  Rng rng{42};
+  constexpr int kRounds = 10;
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (topo::NodeId s = 0; s < h.topo.numNodes(); ++s) {
+        h.sim.post(Duration::micros(rng.uniformInt(0, 400)),
+                   [&h, s] { h.medium.startTransmission(dataFrame(s, 100)); });
+      }
+      h.sim.run();
+      frames += h.topo.numNodes();
+    }
+  }
+  state.SetItemsProcessed(frames);
+  state.SetLabel("items = frames");
+}
+BENCHMARK(BM_MediumStartFinish)->Arg(50)->Arg(200)->Arg(800);
+
+/// Worst-case contention: every node of a dense mesh (cs-degree ~58)
+/// starts transmitting at the same instant — the shape of a saturated
+/// slot under backpressure-style scheduling. This is the case the
+/// O(active x receptions) corruption scan made quadratic.
+void BM_MediumDenseBurst(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto sc = scenarios::denseMesh(7, n, 2);
+  Harness h{sc.topology};
+  constexpr int kBursts = 4;
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    for (int burst = 0; burst < kBursts; ++burst) {
+      for (topo::NodeId s = 0; s < h.topo.numNodes(); ++s) {
+        h.medium.startTransmission(dataFrame(s, 100));
+      }
+      h.sim.run();
+      frames += h.topo.numNodes();
+    }
+  }
+  state.SetItemsProcessed(frames);
+  state.SetLabel("items = frames");
+}
+BENCHMARK(BM_MediumDenseBurst)->Arg(50)->Arg(200)->Arg(800);
+
+/// Dense macro scenario: the full DES (DCF + GMP + queues) on a 60-node
+/// dense mesh, measured as simulator events per wall-second. Bounds how
+/// much of the end-to-end budget the frame pipeline still costs when the
+/// whole stack runs above it.
+void BM_MediumDenseMacro(benchmark::State& state) {
+  const auto sc = scenarios::denseMesh(5, 60, 8);
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 3;
+  net::Network net{sc.topology, cfg, sc.flows};
+  net.run(Duration::seconds(1.0));  // warm up queues and GMP state
+  const std::uint64_t eventsBefore = net.simulator().executedEvents();
+  for (auto _ : state) {
+    net.run(Duration::seconds(0.5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      net.simulator().executedEvents() - eventsBefore));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_MediumDenseMacro)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

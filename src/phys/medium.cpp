@@ -1,5 +1,8 @@
 #include "phys/medium.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/check.hpp"
 
 namespace maxmin::phys {
@@ -20,18 +23,40 @@ Medium::Medium(sim::Simulator& sim, const topo::Topology& topo)
   const auto n = static_cast<std::size_t>(topo.numNodes());
   radios_.assign(n, nullptr);
   energy_.assign(n, 0);
-  transmitting_.assign(n, false);
-  inTxRange_.assign(n, {});
-  inCsRange_.assign(n, {});
-  for (topo::NodeId a = 0; a < topo.numNodes(); ++a) {
-    for (topo::NodeId b = 0; b < topo.numNodes(); ++b) {
-      if (a == b) continue;
-      if (topo.areNeighbors(a, b))
-        inTxRange_[static_cast<std::size_t>(a)].push_back(b);
-      if (topo.inCsRange(a, b))
-        inCsRange_[static_cast<std::size_t>(a)].push_back(b);
-    }
+  transmitting_.assign(n, 0);
+
+  // Flatten both range relations into CSR arrays (ascending ids, same
+  // iteration order as the old per-node vectors).
+  const topo::AdjacencyMatrix& tx = topo.txAdjacency();
+  const topo::AdjacencyMatrix& cs = topo.csAdjacency();
+  txOff_.assign(n + 1, 0);
+  csOff_.assign(n + 1, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto id = static_cast<topo::NodeId>(a);
+    txOff_[a + 1] = txOff_[a] + static_cast<std::uint32_t>(tx.rowDegree(id));
+    csOff_[a + 1] = csOff_[a] + static_cast<std::uint32_t>(cs.rowDegree(id));
+    maxTxDegree_ = std::max(maxTxDegree_,
+                            static_cast<std::size_t>(tx.rowDegree(id)));
   }
+  txList_.reserve(txOff_[n]);
+  csList_.reserve(csOff_[n]);
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto id = static_cast<topo::NodeId>(a);
+    tx.forEachInRow(id, [this](topo::NodeId b) { txList_.push_back(b); });
+    cs.forEachInRow(id, [this](topo::NodeId b) { csList_.push_back(b); });
+  }
+
+  // Preallocate every per-frame structure to its lifetime bound: at most
+  // one active transmission per node, at most in-degree concurrent
+  // receptions per receiver. Steady-state start/finish never allocates.
+  active_.reserve(n);
+  freeSlots_.reserve(n);
+  rxAt_.resize(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    rxAt_[a].reserve(txDegree(static_cast<topo::NodeId>(a)));
+  }
+  rxPendingBits_.assign(cs.wordsPerRow(), 0);
+  finishScratch_.reserve(maxTxDegree_);
 }
 
 void Medium::attachRadio(topo::NodeId id, RadioListener* listener) {
@@ -42,33 +67,99 @@ void Medium::attachRadio(topo::NodeId id, RadioListener* listener) {
 }
 
 void Medium::raiseEnergy(topo::NodeId at) {
-  auto& e = energy_.at(static_cast<std::size_t>(at));
+  auto& e = energy_[static_cast<std::size_t>(at)];
   if (++e == 1) {
     if (auto* r = radios_[static_cast<std::size_t>(at)]) r->onChannelBusy();
   }
 }
 
 void Medium::lowerEnergy(topo::NodeId at) {
-  auto& e = energy_.at(static_cast<std::size_t>(at));
+  auto& e = energy_[static_cast<std::size_t>(at)];
   MAXMIN_CHECK(e > 0);
   if (--e == 0) {
     if (auto* r = radios_[static_cast<std::size_t>(at)]) r->onChannelIdle();
   }
 }
 
+std::uint32_t Medium::acquireSlot() {
+  if (!freeSlots_.empty()) {
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    return slot;
+  }
+  MAXMIN_CHECK_MSG(active_.size() < active_.capacity(),
+                   "more concurrent transmissions than nodes");
+  active_.emplace_back();
+  return static_cast<std::uint32_t>(active_.size() - 1);
+}
+
+Medium::PendingRx* Medium::acquireRxStorage(ActiveTx& tx,
+                                            std::uint32_t degree) {
+  if (degree <= kInlineRx) {
+    tx.spillBlock = kNoBlock;
+    return tx.inlineRx.data();
+  }
+  if (freeBlocks_.empty()) {
+    tx.spillBlock = static_cast<std::uint32_t>(spillArena_.size() / maxTxDegree_);
+    spillArena_.resize(spillArena_.size() + maxTxDegree_);
+  } else {
+    tx.spillBlock = freeBlocks_.back();
+    freeBlocks_.pop_back();
+  }
+  return receptions(tx);
+}
+
+void Medium::releaseRxStorage(ActiveTx& tx) {
+  if (tx.spillBlock != kNoBlock) {
+    freeBlocks_.push_back(tx.spillBlock);
+    tx.spillBlock = kNoBlock;
+  }
+  tx.rxCount = 0;
+}
+
+void Medium::indexReceptions(std::uint32_t slot) {
+  ActiveTx& tx = active_[slot];
+  const PendingRx* rxs = receptions(tx);
+  for (std::uint32_t i = 0; i < tx.rxCount; ++i) {
+    const auto r = static_cast<std::size_t>(rxs[i].receiver);
+    if (rxAt_[r].empty()) {
+      rxPendingBits_[r / 64] |= std::uint64_t{1} << (r % 64);
+    }
+    rxAt_[r].push_back(RxRef{slot, i});
+  }
+}
+
+void Medium::unindexReception(topo::NodeId receiver, std::uint32_t slot) {
+  auto& refs = rxAt_[static_cast<std::size_t>(receiver)];
+  for (auto& ref : refs) {
+    if (ref.slot == slot) {
+      ref = refs.back();
+      refs.pop_back();
+      break;
+    }
+  }
+  if (refs.empty()) {
+    const auto r = static_cast<std::size_t>(receiver);
+    rxPendingBits_[r / 64] &= ~(std::uint64_t{1} << (r % 64));
+  }
+}
+
 void Medium::startTransmission(const Frame& frame) {
   const topo::NodeId sender = frame.transmitter;
   MAXMIN_CHECK(sender >= 0 && sender < topo_.numNodes());
-  MAXMIN_CHECK_MSG(!transmitting_.at(static_cast<std::size_t>(sender)),
+  MAXMIN_CHECK_MSG(transmitting_[static_cast<std::size_t>(sender)] == 0,
                    "node " << sender << " already transmitting");
   MAXMIN_CHECK(frame.duration > Duration::zero());
-  MAXMIN_CHECK(radios_.at(static_cast<std::size_t>(sender)) != nullptr);
+  MAXMIN_CHECK(radios_[static_cast<std::size_t>(sender)] != nullptr);
 
-  transmitting_[static_cast<std::size_t>(sender)] = true;
+  transmitting_[static_cast<std::size_t>(sender)] = 1;
 
-  ActiveTx tx;
+  const std::uint32_t slot = acquireSlot();
+  ActiveTx& tx = active_[slot];
   tx.frame = frame;
   tx.end = sim_.now() + frame.duration;
+  tx.rxCount = 0;
+  tx.spillBlock = kNoBlock;
 
   // A crashed sender's MAC still walks its transmit state machine (it
   // cannot know it is dead), but its radio emits nothing: no energy, no
@@ -77,94 +168,86 @@ void Medium::startTransmission(const Frame& frame) {
   tx.silent = faults_ != nullptr && !faults_->nodeUp(sender);
   if (tx.silent) {
     ++framesSuppressed_;
-    std::size_t silentSlot = active_.size();
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      if (active_[i].frame.transmitter == topo::kNoNode) {
-        silentSlot = i;
-        break;
-      }
-    }
-    if (silentSlot == active_.size()) {
-      active_.push_back(std::move(tx));
-    } else {
-      active_[silentSlot] = std::move(tx);
-    }
     // Fire-and-forget: a transmission always runs to completion (a crash
     // makes it silent, never cancels it).
-    static_cast<void>(sim_.schedule(
-        frame.duration, [this, silentSlot] { finishTransmission(silentSlot); }));
+    sim_.post(frame.duration, [this, slot] { finishTransmission(slot); });
     return;
   }
 
   // Pending receptions: every node in decode range. Corrupt on arrival if
   // the receiver already senses other energy or is itself transmitting.
-  for (topo::NodeId r : inTxRange_[static_cast<std::size_t>(sender)]) {
-    const bool corrupted = transmitting_[static_cast<std::size_t>(r)] ||
+  const std::uint32_t degree = txDegree(sender);
+  PendingRx* rxs = acquireRxStorage(tx, degree);
+  const topo::NodeId* txNb = txBegin(sender);
+  for (std::uint32_t i = 0; i < degree; ++i) {
+    const topo::NodeId r = txNb[i];
+    const bool corrupted = transmitting_[static_cast<std::size_t>(r)] != 0 ||
                            energy_[static_cast<std::size_t>(r)] > 0;
-    tx.receptions.push_back(PendingRx{r, corrupted});
+    rxs[i] = PendingRx{r, corrupted};
   }
+  tx.rxCount = degree;
 
   // This transmission corrupts any in-flight reception at a node that
-  // senses it.
-  for (ActiveTx& other : active_) {
-    if (other.frame.transmitter == topo::kNoNode) continue;  // finished slot
-    for (PendingRx& rx : other.receptions) {
-      if (!rx.corrupted && topo_.inCsRange(sender, rx.receiver)) {
-        rx.corrupted = true;
+  // senses it: intersect the sender's carrier-sense row with the nodes
+  // holding pending receptions — a word-wise AND — instead of scanning
+  // every active transmission's reception list.
+  const std::uint64_t* csRow = topo_.csAdjacency().row(sender);
+  for (std::size_t w = 0; w < rxPendingBits_.size(); ++w) {
+    std::uint64_t hits = csRow[w] & rxPendingBits_[w];
+    while (hits != 0) {
+      const auto r = static_cast<std::size_t>(w * 64) +
+                     static_cast<std::size_t>(std::countr_zero(hits));
+      hits &= hits - 1;
+      for (const RxRef& ref : rxAt_[r]) {
+        receptions(active_[ref.slot])[ref.index].corrupted = true;
       }
     }
   }
 
   // A node beginning to transmit loses anything it was receiving.
-  for (ActiveTx& other : active_) {
-    if (other.frame.transmitter == topo::kNoNode) continue;
-    for (PendingRx& rx : other.receptions) {
-      if (rx.receiver == sender) rx.corrupted = true;
-    }
+  for (const RxRef& ref : rxAt_[static_cast<std::size_t>(sender)]) {
+    receptions(active_[ref.slot])[ref.index].corrupted = true;
   }
 
-  for (topo::NodeId n : inCsRange_[static_cast<std::size_t>(sender)]) {
-    raiseEnergy(n);
-  }
+  const std::uint32_t csDeg = csDegree(sender);
+  const topo::NodeId* csNb = csBegin(sender);
+  for (std::uint32_t i = 0; i < csDeg; ++i) raiseEnergy(csNb[i]);
 
-  // Find or create a slot for the active transmission.
-  std::size_t slot = active_.size();
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    if (active_[i].frame.transmitter == topo::kNoNode) {
-      slot = i;
-      break;
-    }
-  }
-  if (slot == active_.size()) {
-    active_.push_back(std::move(tx));
-  } else {
-    active_[slot] = std::move(tx);
-  }
+  indexReceptions(slot);
+
   if (observer_ != nullptr) observer_->onTransmissionStart(frame, sim_.now());
   // Fire-and-forget: completion is unconditional (see above).
-  static_cast<void>(
-      sim_.schedule(frame.duration, [this, slot] { finishTransmission(slot); }));
+  sim_.post(frame.duration, [this, slot] { finishTransmission(slot); });
 }
 
 void Medium::finishTransmission(std::size_t slot) {
-  // Move the record out and free the slot before running callbacks, which
-  // may start new transmissions immediately (SIFS=0 is not allowed, but
-  // zero-delay follow-ups in tests are).
-  ActiveTx tx = std::move(active_.at(slot));
-  active_[slot].frame.transmitter = topo::kNoNode;
-  active_[slot].receptions.clear();
-
+  ActiveTx& tx = active_[slot];
   const topo::NodeId sender = tx.frame.transmitter;
   MAXMIN_CHECK(sender != topo::kNoNode);
-  transmitting_[static_cast<std::size_t>(sender)] = false;
+  transmitting_[static_cast<std::size_t>(sender)] = 0;
 
-  if (tx.silent) return;  // nothing was radiated
-
-  for (topo::NodeId n : inCsRange_[static_cast<std::size_t>(sender)]) {
-    lowerEnergy(n);
+  // Move the frame and receptions out and recycle the record before
+  // running callbacks, which may start new transmissions immediately
+  // (SIFS=0 is not allowed, but zero-delay follow-ups in tests are) and
+  // reuse this slot or its spill block.
+  const bool silent = tx.silent;
+  const Frame frame = std::move(tx.frame);
+  tx.frame.transmitter = topo::kNoNode;
+  const PendingRx* rxs = receptions(tx);
+  finishScratch_.assign(rxs, rxs + tx.rxCount);
+  for (const PendingRx& rx : finishScratch_) {
+    unindexReception(rx.receiver, static_cast<std::uint32_t>(slot));
   }
+  releaseRxStorage(tx);
+  freeSlots_.push_back(static_cast<std::uint32_t>(slot));
 
-  for (const PendingRx& rx : tx.receptions) {
+  if (silent) return;  // nothing was radiated
+
+  const std::uint32_t csDeg = csDegree(sender);
+  const topo::NodeId* csNb = csBegin(sender);
+  for (std::uint32_t i = 0; i < csDeg; ++i) lowerEnergy(csNb[i]);
+
+  for (const PendingRx& rx : finishScratch_) {
     auto* radio = radios_[static_cast<std::size_t>(rx.receiver)];
     if (radio == nullptr) continue;
     // A crashed receiver (or a cut link) hears nothing at all — no
@@ -178,26 +261,26 @@ void Medium::finishTransmission(std::size_t slot) {
     // Receptions that end while the receiver transmits are lost even if
     // the overlap began after the corruption scan (same-instant starts).
     bool corrupt =
-        rx.corrupted || transmitting_[static_cast<std::size_t>(rx.receiver)];
+        rx.corrupted || transmitting_[static_cast<std::size_t>(rx.receiver)] != 0;
     // Channel impairment: a frame that survived interference can still
     // fail its CRC. Decided per (link, frame) so loss is bursty per link.
     if (!corrupt && impairments_ != nullptr &&
-        impairments_->shouldDrop(sender, rx.receiver, tx.frame.kind)) {
+        impairments_->shouldDrop(sender, rx.receiver, frame.kind)) {
       ++framesImpaired_;
       corrupt = true;
     }
     if (corrupt) {
       ++framesCorrupted_;
       if (observer_ != nullptr) {
-        observer_->onCorruption(tx.frame, rx.receiver, sim_.now());
+        observer_->onCorruption(frame, rx.receiver, sim_.now());
       }
-      radio->onFrameCorrupted(tx.frame);
+      radio->onFrameCorrupted(frame);
     } else {
       ++framesDelivered_;
       if (observer_ != nullptr) {
-        observer_->onDelivery(tx.frame, rx.receiver, sim_.now());
+        observer_->onDelivery(frame, rx.receiver, sim_.now());
       }
-      radio->onFrameReceived(tx.frame);
+      radio->onFrameReceived(frame);
     }
   }
 }

@@ -9,8 +9,24 @@
 //
 // Propagation delay is zero: at 250 m it is under 1 us, below our clock
 // resolution and irrelevant to the rate dynamics studied here.
+//
+// Hot-path layout (see DESIGN.md §12). All per-frame state is
+// preallocated at construction so steady-state start/finish perform zero
+// heap allocations:
+//
+//  * range relations are flat CSR neighbor arrays plus the topology's
+//    packed AdjacencyMatrix rows — carrier-sense membership is a bit
+//    test, never a distance computation;
+//  * a reverse per-receiver reception index (rxAt_ + the rxPendingBits_
+//    bitset) lets a new transmission corrupt exactly the nodes that both
+//    sense it and hold in-flight receptions — a word-wise AND of two
+//    bitsets — instead of scanning every active transmission's list;
+//  * pending receptions live inline in the transmission record (<= 8
+//    receivers) or in a pooled spill arena block; records are recycled
+//    through a free list shared by the silent and radiating paths.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -80,7 +96,7 @@ class Medium {
   }
 
   [[nodiscard]] bool isTransmitting(topo::NodeId id) const {
-    return transmitting_.at(static_cast<std::size_t>(id));
+    return transmitting_.at(static_cast<std::size_t>(id)) != 0;
   }
 
   const topo::Topology& topology() const { return topo_; }
@@ -93,30 +109,116 @@ class Medium {
   /// Transmissions/receptions suppressed by the fault plane.
   [[nodiscard]] std::uint64_t framesSuppressed() const { return framesSuppressed_; }
 
+  /// Pool high-water marks, exposed so tests can assert the steady state
+  /// recycles rather than allocates.
+  [[nodiscard]] std::size_t activeSlotHighWater() const { return active_.size(); }
+  [[nodiscard]] std::size_t spillBlockHighWater() const {
+    return maxTxDegree_ == 0 ? 0 : spillArena_.size() / maxTxDegree_;
+  }
+
  private:
   struct PendingRx {
     topo::NodeId receiver;
     bool corrupted;
   };
+  /// Reverse-index entry: active_[slot]'s reception #index targets the
+  /// node whose rxAt_ list holds this entry.
+  struct RxRef {
+    std::uint32_t slot;
+    std::uint32_t index;
+  };
+
+  static constexpr std::uint32_t kInlineRx = 8;
+  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+
   struct ActiveTx {
     Frame frame;
     TimePoint end;
     bool silent = false;  ///< sender was down: nothing radiated
-    std::vector<PendingRx> receptions;
+    std::uint32_t rxCount = 0;
+    std::uint32_t spillBlock = kNoBlock;  ///< arena block when degree > kInlineRx
+    std::array<PendingRx, kInlineRx> inlineRx;
   };
 
   void finishTransmission(std::size_t slot);
   void raiseEnergy(topo::NodeId at);
   void lowerEnergy(topo::NodeId at);
 
+  /// Pop a recycled transmission record (or extend within the reserved
+  /// capacity). One helper for the silent and radiating paths.
+  std::uint32_t acquireSlot();
+
+  /// Reception storage for `tx`: inline for <= kInlineRx receivers, a
+  /// pooled spill-arena block otherwise. `degree` is the sender's
+  /// tx-range out-degree (known before filling).
+  PendingRx* acquireRxStorage(ActiveTx& tx, std::uint32_t degree);
+  [[nodiscard]] PendingRx* receptions(ActiveTx& tx) {
+    return tx.spillBlock == kNoBlock
+               ? tx.inlineRx.data()
+               : spillArena_.data() +
+                     static_cast<std::size_t>(tx.spillBlock) * maxTxDegree_;
+  }
+  void releaseRxStorage(ActiveTx& tx);
+
+  /// Register / drop the reverse-index entries for a transmission's
+  /// pending receptions, maintaining the rxPendingBits_ bitset.
+  void indexReceptions(std::uint32_t slot);
+  void unindexReception(topo::NodeId receiver, std::uint32_t slot);
+
+  // CSR accessors over the flattened neighbor arrays.
+  [[nodiscard]] const topo::NodeId* txBegin(topo::NodeId n) const {
+    return txList_.data() + txOff_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] std::uint32_t txDegree(topo::NodeId n) const {
+    return txOff_[static_cast<std::size_t>(n) + 1] -
+           txOff_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] const topo::NodeId* csBegin(topo::NodeId n) const {
+    return csList_.data() + csOff_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] std::uint32_t csDegree(topo::NodeId n) const {
+    return csOff_[static_cast<std::size_t>(n) + 1] -
+           csOff_[static_cast<std::size_t>(n)];
+  }
+
   sim::Simulator& sim_;
   const topo::Topology& topo_;
   std::vector<RadioListener*> radios_;
-  std::vector<int> energy_;          // sensed transmitter count per node
-  std::vector<bool> transmitting_;
-  std::vector<ActiveTx> active_;     // slot reused when frame.transmitter == kNoNode
-  std::vector<std::vector<topo::NodeId>> inTxRange_;  // per node, ascending
-  std::vector<std::vector<topo::NodeId>> inCsRange_;
+  std::vector<int> energy_;               // sensed transmitter count per node
+  std::vector<std::uint8_t> transmitting_;
+
+  // Transmission records: indexed by slot, recycled via freeSlots_.
+  // Reserved to numNodes at construction (<= one active tx per node), so
+  // neither ever reallocates.
+  std::vector<ActiveTx> active_;
+  std::vector<std::uint32_t> freeSlots_;
+
+  // Spill arena for receptions of high-degree senders: fixed-size blocks
+  // of maxTxDegree_ PendingRx, recycled via freeBlocks_. Grows only while
+  // the concurrent spill population sets a new high-water mark.
+  std::vector<PendingRx> spillArena_;
+  std::vector<std::uint32_t> freeBlocks_;
+  std::size_t maxTxDegree_ = 0;
+
+  // Reverse reception index: per receiver, the in-flight receptions
+  // targeting it (capacity = in-degree, reserved at construction); plus
+  // one bit per node saying "this node holds pending receptions", so the
+  // corruption scan is csRow(sender) AND rxPendingBits_.
+  std::vector<std::vector<RxRef>> rxAt_;
+  std::vector<std::uint64_t> rxPendingBits_;
+
+  // Flattened (CSR) neighbor arrays, built once from the topology's
+  // adjacency matrices: txList_ drives reception setup, csList_ drives
+  // energy raise/lower, both in ascending id order.
+  std::vector<std::uint32_t> txOff_, csOff_;
+  std::vector<topo::NodeId> txList_, csList_;
+
+  // Scratch for finishTransmission: receptions are copied out before the
+  // slot is recycled because delivery callbacks may start transmissions
+  // that reuse it. Reserved to maxTxDegree_; finish never nests (it only
+  // runs from the event loop), so one buffer suffices.
+  std::vector<PendingRx> finishScratch_;
+
   std::uint64_t framesDelivered_ = 0;
   std::uint64_t framesCorrupted_ = 0;
   std::uint64_t framesImpaired_ = 0;

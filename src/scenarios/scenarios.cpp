@@ -1,6 +1,8 @@
 #include "scenarios/scenarios.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <set>
 
 #include "topology/routing.hpp"
@@ -176,6 +178,22 @@ Scenario randomMesh(std::uint64_t seed, int nodes, double areaSide,
   }
   MAXMIN_CHECK_MSG(false, "could not sample a connected random mesh");
   throw InvariantViolation("unreachable");
+}
+
+double meshSideForDegree(int nodes, double targetDegree) {
+  MAXMIN_CHECK(nodes >= 2);
+  MAXMIN_CHECK(targetDegree > 0.0);
+  const double txRange = topo::RadioRanges{}.txRange;
+  return std::sqrt(nodes * std::numbers::pi * txRange * txRange /
+                   targetDegree);
+}
+
+Scenario denseMesh(std::uint64_t seed, int nodes, int numFlows,
+                   double desiredPps) {
+  Scenario s = randomMesh(seed, nodes, meshSideForDegree(nodes, 12.0),
+                          numFlows, desiredPps);
+  s.name = "dense" + std::to_string(nodes) + "-" + std::to_string(seed);
+  return s;
 }
 
 topo::NodeId firstRelayNode(const Scenario& scenario) {

@@ -57,6 +57,19 @@ Scenario chain(int nodes, double spacing = 200.0,
 Scenario randomMesh(std::uint64_t seed, int nodes, double areaSide,
                     int numFlows, double desiredPps = 800.0);
 
+/// Square side that gives a random mesh of `nodes` nodes an average
+/// one-hop (tx-range) degree of ~`targetDegree` under the default radio
+/// model — constant density regardless of scale, unlike a fixed side.
+[[nodiscard]] double meshSideForDegree(int nodes, double targetDegree);
+
+/// Dense random mesh: constant-density placement with average tx-range
+/// degree ~12 (carrier-sense degree ~58 under the default 2.2x radio
+/// model), so nearly every transmission contends with a large share of
+/// the network. The frame-pipeline stress preset: saturated high-
+/// contention meshes are where per-frame Medium costs dominate.
+Scenario denseMesh(std::uint64_t seed, int nodes, int numFlows,
+                   double desiredPps = 800.0);
+
 /// First intermediate hop on the path of the scenario's first multi-hop
 /// flow — the canonical victim for relay-crash robustness experiments
 /// (crashing it severs that flow while the rest of the network keeps

@@ -25,12 +25,12 @@ void Simulator::refillRun() {
   run_.clear();
   runPos_ = 0;
   for (;;) {
-    while (nextBucket_ < buckets_.size()) {
+    while (nextBucket_ < activeBuckets_) {
       std::vector<Key>& b = buckets_[nextBucket_++];
       if (b.empty()) continue;
       run_.swap(b);  // the bucket inherits the spent run's capacity
       std::sort(run_.begin(), run_.end(), earlier);
-      runEnd_ = nextBucket_ == buckets_.size()
+      runEnd_ = nextBucket_ == activeBuckets_
                     ? windowEnd_
                     : windowStart_ +
                           Duration::micros(
@@ -72,7 +72,11 @@ void Simulator::rebuildWindow() {
   if (bucketWidthUs_ <= 0) bucketWidthUs_ = 1;
   windowStart_ = minW;
   windowEnd_ = maxW + Duration::micros(1);
-  buckets_.resize(static_cast<std::size_t>(nb));  // all currently empty
+  // Grow-only: a narrower window just uses a prefix of the bucket array,
+  // so per-bucket capacity from earlier windows is recycled rather than
+  // freed — steady-state window rebuilds perform no heap allocation.
+  activeBuckets_ = static_cast<std::size_t>(nb);
+  if (buckets_.size() < activeBuckets_) buckets_.resize(activeBuckets_);
   nextBucket_ = 0;
   for (const Key& k : far_) {
     buckets_[bucketIndex(k.when)].push_back(k);
@@ -88,7 +92,7 @@ void Simulator::resetTiers() {
   runPos_ = 0;
   for (std::vector<Key>& b : buckets_) b.clear();
   far_.clear();
-  nextBucket_ = buckets_.size();
+  nextBucket_ = activeBuckets_;
   dead_ = 0;
   runEnd_ = now_;
   windowStart_ = now_;

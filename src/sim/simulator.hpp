@@ -317,6 +317,11 @@ class Simulator {
   std::size_t runPos_ = 0;  ///< cursor into run_
   TimePoint runEnd_;        ///< run_ holds every pending key before this
   std::vector<std::vector<Key>> buckets_;  ///< unsorted per-interval keys
+  std::size_t activeBuckets_ = 0;  ///< buckets in the current window; the
+                                   ///< array itself only ever grows, so
+                                   ///< bucket capacity survives window
+                                   ///< rebuilds and steady-state windows
+                                   ///< never re-allocate
   std::size_t nextBucket_ = 0;             ///< first bucket not yet drained
   TimePoint windowStart_;
   TimePoint windowEnd_;  ///< == windowStart_ when no window is active

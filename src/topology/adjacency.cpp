@@ -1,0 +1,21 @@
+#include "topology/adjacency.hpp"
+
+namespace maxmin::topo {
+
+AdjacencyMatrix::AdjacencyMatrix(int nodes)
+    : nodes_{nodes},
+      words_{(static_cast<std::size_t>(nodes) + 63) / 64},
+      bits_(static_cast<std::size_t>(nodes) * words_, 0) {
+  MAXMIN_CHECK(nodes >= 0);
+}
+
+int AdjacencyMatrix::rowDegree(NodeId a) const {
+  const std::uint64_t* r = row(a);
+  int degree = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    degree += std::popcount(r[w]);
+  }
+  return degree;
+}
+
+}  // namespace maxmin::topo

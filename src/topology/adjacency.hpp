@@ -1,0 +1,82 @@
+// Packed adjacency relation over node ids: one bit per ordered pair,
+// stored as rows of uint64_t words so membership is a single bit test
+// and row intersections are word-wise ANDs.
+//
+// This is the frame-pipeline view of the radio graph. The geometric
+// predicates (Topology::areNeighbors / inCsRange) cost a squared-distance
+// comparison per call; per-frame code instead asks the precomputed matrix
+// (phys::Medium's corruption scan intersects a row with its pending-
+// reception bitset). Rows are contiguous, so scanning a row at N = 800 is
+// 13 sequential words, not 800 pointer-chased distance computations.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/node_id.hpp"
+#include "util/check.hpp"
+
+namespace maxmin::topo {
+
+class AdjacencyMatrix {
+ public:
+  AdjacencyMatrix() = default;
+  explicit AdjacencyMatrix(int nodes);
+
+  [[nodiscard]] int numNodes() const { return nodes_; }
+  /// uint64_t words per row (= ceil(numNodes / 64)).
+  [[nodiscard]] std::size_t wordsPerRow() const { return words_; }
+
+  /// Set the (a, b) bit. Construction-time only; not symmetric by itself.
+  void set(NodeId a, NodeId b) {
+    bits_[rowOffset(a) + wordOf(b)] |= maskOf(b);
+  }
+
+  /// O(1): true when the (a, b) bit is set.
+  [[nodiscard]] bool test(NodeId a, NodeId b) const {
+    return (bits_[rowOffset(a) + wordOf(b)] & maskOf(b)) != 0;
+  }
+
+  /// Raw word pointer for row `a` (wordsPerRow() words): the hot-path
+  /// accessor for word-wise intersections with other bitsets.
+  [[nodiscard]] const std::uint64_t* row(NodeId a) const {
+    return bits_.data() + rowOffset(a);
+  }
+
+  /// Number of set bits in row `a` (the node's degree).
+  [[nodiscard]] int rowDegree(NodeId a) const;
+
+  /// Calls fn(NodeId) for every set bit in row `a`, ascending.
+  template <typename Fn>
+  void forEachInRow(NodeId a, Fn&& fn) const {
+    const std::uint64_t* r = row(a);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t word = r[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t rowOffset(NodeId a) const {
+    MAXMIN_CHECK_MSG(a >= 0 && a < nodes_, "bad node id " << a);
+    return static_cast<std::size_t>(a) * words_;
+  }
+  static std::size_t wordOf(NodeId b) {
+    return static_cast<std::size_t>(b) / 64;
+  }
+  static std::uint64_t maskOf(NodeId b) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(b) % 64);
+  }
+
+  int nodes_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace maxmin::topo

@@ -1,0 +1,12 @@
+// Node identity, split out of topology.hpp so low-level containers
+// (AdjacencyMatrix) can name nodes without pulling in the full Topology.
+#pragma once
+
+#include <cstdint>
+
+namespace maxmin::topo {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace maxmin::topo

@@ -6,9 +6,13 @@
 namespace maxmin::topo {
 
 double distance(Point a, Point b) {
+  return std::sqrt(distanceSquared(a, b));
+}
+
+double distanceSquared(Point a, Point b) {
   const double dx = a.x - b.x;
   const double dy = a.y - b.y;
-  return std::sqrt(dx * dx + dy * dy);
+  return dx * dx + dy * dy;
 }
 
 Topology Topology::fromPositions(std::vector<Point> positions,
@@ -21,51 +25,57 @@ Topology Topology::fromPositions(std::vector<Point> positions,
   t.ranges_ = ranges;
   const int n = t.numNodes();
   t.neighbors_.assign(static_cast<std::size_t>(n), {});
+  t.txAdj_ = AdjacencyMatrix{n};
+  t.csAdj_ = AdjacencyMatrix{n};
+  // One pass over unordered pairs, comparing squared distances: no sqrt
+  // anywhere in construction (the old per-pair distance() made topology
+  // building at N = 800 a third of a million sqrt calls).
+  const double txSq = ranges.txRange * ranges.txRange;
+  const double csSq = ranges.csRange * ranges.csRange;
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b = a + 1; b < n; ++b) {
-      if (distance(t.positions_[static_cast<std::size_t>(a)],
-                   t.positions_[static_cast<std::size_t>(b)]) <=
-          ranges.txRange) {
+      const double dSq = distanceSquared(t.positions_[static_cast<std::size_t>(a)],
+                                         t.positions_[static_cast<std::size_t>(b)]);
+      if (dSq <= txSq) {
         t.neighbors_[static_cast<std::size_t>(a)].push_back(b);
         t.neighbors_[static_cast<std::size_t>(b)].push_back(a);
+        t.txAdj_.set(a, b);
+        t.txAdj_.set(b, a);
+      }
+      if (dSq <= csSq) {
+        t.csAdj_.set(a, b);
+        t.csAdj_.set(b, a);
       }
     }
+  }
+  // Memoize the two-hop neighborhoods (GMP dissemination queries them
+  // every period; recomputing allocated on every call).
+  t.twoHop_.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> seen;
+  for (NodeId id = 0; id < n; ++id) {
+    seen.assign(static_cast<std::size_t>(n), false);
+    seen[static_cast<std::size_t>(id)] = true;
+    std::vector<NodeId> result;
+    for (NodeId h1 : t.neighbors_[static_cast<std::size_t>(id)]) {
+      if (!seen[static_cast<std::size_t>(h1)]) {
+        seen[static_cast<std::size_t>(h1)] = true;
+        result.push_back(h1);
+      }
+      for (NodeId h2 : t.neighbors_[static_cast<std::size_t>(h1)]) {
+        if (!seen[static_cast<std::size_t>(h2)]) {
+          seen[static_cast<std::size_t>(h2)] = true;
+          result.push_back(h2);
+        }
+      }
+    }
+    std::sort(result.begin(), result.end());
+    t.twoHop_.push_back(std::move(result));
   }
   return t;
 }
 
 double Topology::distanceBetween(NodeId a, NodeId b) const {
   return distance(positions_.at(checkId(a)), positions_.at(checkId(b)));
-}
-
-bool Topology::areNeighbors(NodeId a, NodeId b) const {
-  if (a == b) return false;
-  return distanceBetween(a, b) <= ranges_.txRange;
-}
-
-bool Topology::inCsRange(NodeId a, NodeId b) const {
-  if (a == b) return false;
-  return distanceBetween(a, b) <= ranges_.csRange;
-}
-
-std::vector<NodeId> Topology::twoHopNeighborhood(NodeId id) const {
-  std::vector<bool> seen(static_cast<std::size_t>(numNodes()), false);
-  seen[checkId(id)] = true;
-  std::vector<NodeId> result;
-  for (NodeId h1 : neighbors(id)) {
-    if (!seen[static_cast<std::size_t>(h1)]) {
-      seen[static_cast<std::size_t>(h1)] = true;
-      result.push_back(h1);
-    }
-    for (NodeId h2 : neighbors(h1)) {
-      if (!seen[static_cast<std::size_t>(h2)]) {
-        seen[static_cast<std::size_t>(h2)] = true;
-        result.push_back(h2);
-      }
-    }
-  }
-  std::sort(result.begin(), result.end());
-  return result;
 }
 
 }  // namespace maxmin::topo

@@ -2,18 +2,22 @@
 // (decodable) and carrier-sense (sensable/interfering) relations.
 //
 // The paper assumes a static multihop network (e.g. a mesh with external
-// power); all graphs here are computed once at construction.
+// power); all graphs here are computed once at construction. Both
+// relations are materialized twice: as sorted neighbor lists (for
+// iteration) and as packed AdjacencyMatrix bitsets (for O(1) membership
+// and word-wise row intersections in the frame pipeline). Construction
+// compares squared distances, so building an N-node topology performs no
+// sqrt at all; distance()/distanceBetween() remain for reporting.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "topology/adjacency.hpp"
+#include "topology/node_id.hpp"
 #include "util/check.hpp"
 
 namespace maxmin::topo {
-
-using NodeId = std::int32_t;
-inline constexpr NodeId kNoNode = -1;
 
 struct Point {
   double x = 0.0;
@@ -21,6 +25,11 @@ struct Point {
 };
 
 double distance(Point a, Point b);
+
+/// Squared Euclidean distance — exact for the integer-valued coordinates
+/// the canned scenarios use, and what all range predicates compare
+/// against (range² on the other side), keeping construction sqrt-free.
+double distanceSquared(Point a, Point b);
 
 /// Radio model: frames decode within `txRange`; energy is sensed (and
 /// corrupts concurrent receptions) within `csRange`. Defaults follow the
@@ -45,11 +54,28 @@ class Topology {
   [[nodiscard]] double distanceBetween(NodeId a, NodeId b) const;
 
   /// True when a and b can exchange decodable frames (within txRange).
-  [[nodiscard]] bool areNeighbors(NodeId a, NodeId b) const;
+  /// O(1): a bit test against the precomputed adjacency matrix.
+  [[nodiscard]] bool areNeighbors(NodeId a, NodeId b) const {
+    if (a == b) return false;
+    static_cast<void>(checkId(a));
+    static_cast<void>(checkId(b));
+    return txAdj_.test(a, b);
+  }
 
   /// True when a transmission by `a` is sensed at `b` (within csRange).
-  /// Symmetric; a node does not sense itself.
-  [[nodiscard]] bool inCsRange(NodeId a, NodeId b) const;
+  /// Symmetric; a node does not sense itself. O(1) bit test.
+  [[nodiscard]] bool inCsRange(NodeId a, NodeId b) const {
+    if (a == b) return false;
+    static_cast<void>(checkId(a));
+    static_cast<void>(checkId(b));
+    return csAdj_.test(a, b);
+  }
+
+  /// Packed decodable-neighbor relation (row a ∋ b ⟺ areNeighbors(a, b)).
+  [[nodiscard]] const AdjacencyMatrix& txAdjacency() const { return txAdj_; }
+
+  /// Packed carrier-sense relation (row a ∋ b ⟺ inCsRange(a, b)).
+  [[nodiscard]] const AdjacencyMatrix& csAdjacency() const { return csAdj_; }
 
   /// One-hop neighbors (decodable), ascending id order.
   const std::vector<NodeId>& neighbors(NodeId id) const {
@@ -58,8 +84,11 @@ class Topology {
 
   /// Nodes exactly one or two hops away in the neighbor graph, ascending,
   /// excluding `id` itself. This is the scope over which the paper
-  /// disseminates link state.
-  [[nodiscard]] std::vector<NodeId> twoHopNeighborhood(NodeId id) const;
+  /// disseminates link state. Memoized at construction: GMP queries it
+  /// every dissemination period, so it must not recompute (or allocate).
+  [[nodiscard]] const std::vector<NodeId>& twoHopNeighborhood(NodeId id) const {
+    return twoHop_.at(checkId(id));
+  }
 
  private:
   [[nodiscard]] std::size_t checkId(NodeId id) const {
@@ -70,6 +99,9 @@ class Topology {
   std::vector<Point> positions_;
   RadioRanges ranges_;
   std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<NodeId>> twoHop_;
+  AdjacencyMatrix txAdj_;
+  AdjacencyMatrix csAdj_;
 };
 
 }  // namespace maxmin::topo

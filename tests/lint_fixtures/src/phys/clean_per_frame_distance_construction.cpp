@@ -1,0 +1,18 @@
+// Fixture: construction-time geometry is the sanctioned exception. A
+// one-off sanity probe while building per-node tables runs once per
+// topology, not once per frame, so an allow() pragma keeps it clean.
+#include "topology/topology.hpp"
+
+namespace maxmin::phys {
+
+int countSensedPeersAtConstruction(const topo::Topology& topo,
+                                   topo::NodeId node) {
+  int sensed = 0;
+  for (topo::NodeId peer = 0; peer < topo.numNodes(); ++peer) {
+    // maxmin-lint: allow(per-frame-distance) construction-time table build
+    if (topo.inCsRange(node, peer)) ++sensed;
+  }
+  return sensed;
+}
+
+}  // namespace maxmin::phys

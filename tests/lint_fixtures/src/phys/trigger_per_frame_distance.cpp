@@ -1,0 +1,19 @@
+// Fixture: per-frame geometry queries inside the frame pipeline. Both a
+// distanceBetween() range compare and an inCsRange() membership probe on
+// the per-frame path must fire [per-frame-distance] — the pipeline reads
+// the packed adjacency rows built at construction instead.
+#include "topology/topology.hpp"
+
+namespace maxmin::phys {
+
+bool frameReachesReceiver(const topo::Topology& topo, topo::NodeId tx,
+                          topo::NodeId rx) {
+  return topo.distanceBetween(tx, rx) <= topo.ranges().txRange;
+}
+
+bool frameCorruptsReception(const topo::Topology& topo, topo::NodeId tx,
+                            topo::NodeId rx) {
+  return topo.inCsRange(tx, rx);
+}
+
+}  // namespace maxmin::phys

@@ -126,5 +126,23 @@ TEST_P(RandomMeshTest, FlowsAreRoutableAndDistinct) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMeshTest, ::testing::Range(1, 11));
 
+TEST(DenseMesh, ConstantDensityHitsTargetDegree) {
+  // meshSideForDegree sizes the square for an average tx degree of ~12
+  // regardless of node count; sampled meshes should land near it.
+  for (const int nodes : {50, 200}) {
+    const auto sc = denseMesh(7, nodes, 2);
+    EXPECT_EQ(sc.topology.numNodes(), nodes);
+    EXPECT_EQ(sc.flows.size(), 2u);
+    std::int64_t degreeSum = 0;
+    for (topo::NodeId n = 0; n < sc.topology.numNodes(); ++n) {
+      degreeSum += static_cast<std::int64_t>(sc.topology.neighbors(n).size());
+    }
+    const double avgDegree =
+        static_cast<double>(degreeSum) / static_cast<double>(nodes);
+    EXPECT_GT(avgDegree, 8.0) << "nodes=" << nodes;
+    EXPECT_LT(avgDegree, 16.0) << "nodes=" << nodes;
+  }
+}
+
 }  // namespace
 }  // namespace maxmin::scenarios

@@ -335,5 +335,67 @@ TEST_P(RoutingPropertyTest, TreesAreAcyclicAndShortest) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest, ::testing::Range(1, 11));
 
+// The packed adjacency matrices are the frame pipeline's only view of the
+// radio graph, so every bit must agree with the geometric predicates the
+// old per-call sqrt path computed: 50 random meshes, all ordered pairs.
+TEST(AdjacencyMatrix, MatchesDistancePredicatesOnRandomMeshes) {
+  Rng rng{2024};
+  for (int mesh = 0; mesh < 50; ++mesh) {
+    const int n = static_cast<int>(rng.uniformInt(2, 40));
+    std::vector<Point> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.uniformReal(0, 1500), rng.uniformReal(0, 1500)});
+    }
+    const Topology t = Topology::fromPositions(std::move(pts));
+    const AdjacencyMatrix& tx = t.txAdjacency();
+    const AdjacencyMatrix& cs = t.csAdjacency();
+    ASSERT_EQ(tx.numNodes(), n);
+    ASSERT_EQ(cs.numNodes(), n);
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        const bool expectTx =
+            a != b && t.distanceBetween(a, b) <= t.ranges().txRange;
+        const bool expectCs =
+            a != b && t.distanceBetween(a, b) <= t.ranges().csRange;
+        ASSERT_EQ(tx.test(a, b), expectTx)
+            << "mesh " << mesh << " tx pair " << a << "," << b;
+        ASSERT_EQ(cs.test(a, b), expectCs)
+            << "mesh " << mesh << " cs pair " << a << "," << b;
+        ASSERT_EQ(t.areNeighbors(a, b), expectTx);
+        ASSERT_EQ(t.inCsRange(a, b), expectCs);
+      }
+    }
+  }
+}
+
+TEST(AdjacencyMatrix, RowIterationAscendingAndDegreeConsistent) {
+  Rng rng{7};
+  std::vector<Point> pts;
+  for (int i = 0; i < 70; ++i) {  // > 64 nodes: exercises multi-word rows
+    pts.push_back({rng.uniformReal(0, 1200), rng.uniformReal(0, 1200)});
+  }
+  const Topology t = Topology::fromPositions(std::move(pts));
+  const AdjacencyMatrix& tx = t.txAdjacency();
+  EXPECT_EQ(tx.wordsPerRow(), 2u);
+  for (NodeId a = 0; a < t.numNodes(); ++a) {
+    std::vector<NodeId> fromBits;
+    tx.forEachInRow(a, [&fromBits](NodeId b) { fromBits.push_back(b); });
+    EXPECT_EQ(fromBits, t.neighbors(a));  // ascending by construction
+    EXPECT_EQ(tx.rowDegree(a), static_cast<int>(t.neighbors(a).size()));
+  }
+}
+
+// twoHopNeighborhood is memoized at construction: repeated calls return
+// the same object (no recompute, no allocation) with the original
+// ascending contents.
+TEST(Topology, TwoHopNeighborhoodIsMemoized) {
+  const Topology t = chain(6, 200.0);
+  const std::vector<NodeId>& first = t.twoHopNeighborhood(2);
+  const std::vector<NodeId>& second = t.twoHopNeighborhood(2);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first, (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
 }  // namespace
 }  // namespace maxmin::topo

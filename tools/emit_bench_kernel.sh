@@ -4,11 +4,18 @@
 # src/sim/ and commit the refreshed JSON alongside it. Usage:
 #
 #   tools/emit_bench_kernel.sh [build-dir] [output.json]
+#   tools/emit_bench_kernel.sh --medium [build-dir] [out.json]
 #   tools/emit_bench_kernel.sh --obs-compare [off-build] [obs-build] [out.json]
 #
 # Defaults: build/ and BENCH_kernel.json at the repo root. The JSON is
 # google-benchmark's machine-readable format (context block with host
 # info + one record per benchmark, items_per_second included).
+#
+# --medium runs the frame-pipeline benchmarks (bench/bench_medium:
+# start/finish cycles and dense same-instant bursts at N in {50,200,800},
+# plus the dense macro scenario) and writes BENCH_medium.json — the
+# Medium performance trajectory artifact. Run after any change to
+# src/phys/ or src/topology/ and commit the refreshed JSON alongside it.
 #
 # --obs-compare runs the same filter against two builds — observability
 # compiled out (default preset) and compiled in but runtime-disabled
@@ -35,21 +42,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FILTER='BM_Event(QueueScheduleRun|QueueSteadyState|QueueSameInstantBursts|Cancellation)'
+MEDIUM_FILTER='BM_Medium(StartFinish|DenseBurst|DenseMacro)'
 
-run_bench() { # build-dir out.json
-  if [[ ! -x "$1/bench/bench_micro" ]]; then
-    echo "error: $1/bench/bench_micro not built" >&2
-    echo "hint: cmake -B $1 -S . && cmake --build $1 --target bench_micro" >&2
+run_bench() { # build-dir bench-binary filter out.json
+  if [[ ! -x "$1/bench/$2" ]]; then
+    echo "error: $1/bench/$2 not built" >&2
+    echo "hint: cmake -B $1 -S . && cmake --build $1 --target $2" >&2
     exit 1
   fi
-  "$1/bench/bench_micro" \
-    --benchmark_filter="$FILTER" \
+  "$1/bench/$2" \
+    --benchmark_filter="$3" \
     --benchmark_min_time=0.5 \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out_format=json \
-    --benchmark_out="$2"
+    --benchmark_out="$4"
 }
+
+if [[ "${1:-}" == "--medium" ]]; then
+  BUILD_DIR="${2:-build}"
+  OUT="${3:-BENCH_medium.json}"
+  run_bench "$BUILD_DIR" bench_medium "$MEDIUM_FILTER" "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
 
 # Long windows on purpose: the per-pass ratio is only as good as each
 # run's average, and short runs are at the mercy of host-noise bursts.
@@ -164,5 +180,5 @@ fi
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_kernel.json}"
-run_bench "$BUILD_DIR" "$OUT"
+run_bench "$BUILD_DIR" bench_micro "$FILTER" "$OUT"
 echo "wrote $OUT"

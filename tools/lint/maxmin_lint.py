@@ -34,6 +34,14 @@ DESIGN.md §10):
                    worse — leaks host time into results that must be a
                    pure function of the seed. (Simulation subsystems are
                    covered by the stricter wall-clock rule instead.)
+  per-frame-distance
+                   The frame pipeline (src/phys|mac) must not query
+                   geometry per frame: Topology::distanceBetween() costs
+                   a sqrt and inCsRange()/areNeighbors() used to hide
+                   per-call distance math behind every frame. Hot paths
+                   read the packed AdjacencyMatrix rows / CSR neighbor
+                   lists built at construction (DESIGN.md §12);
+                   construction-time sites opt out with an allow pragma.
 
 Suppressions:
   // maxmin-lint: allow(<rule>) <reason>        one line
@@ -151,6 +159,17 @@ RULES = [
         "is an uncancellable event",
         [],  # structural rule, see check_nodiscard()
         lambda rel: rel.startswith("src/") and _is_header(rel),
+    ),
+    Rule(
+        "per-frame-distance",
+        "geometry query in the frame pipeline; per-frame membership is a "
+        "packed AdjacencyMatrix bit test / CSR list walk built at "
+        "construction (DESIGN.md §12) — allow() construction-time sites",
+        [
+            r"\bdistanceBetween\s*\(",
+            r"\binCsRange\s*\(",
+        ],
+        lambda rel: rel.startswith(("src/phys/", "src/mac/")),
     ),
 ]
 

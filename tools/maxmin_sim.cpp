@@ -61,7 +61,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --scenario  fig1|fig2|fig2w|fig3|fig4|chain|mesh  (default fig3)\n"
+      << "  --scenario  fig1|fig2|fig2w|fig3|fig4|chain|mesh|dense  (default fig3)\n"
       << "  --protocol  802.11|2pp|gmp                        (default gmp)\n"
       << "  --duration  seconds                               (default 400)\n"
       << "  --warmup    seconds                               (default 200)\n"
@@ -196,6 +196,9 @@ scenarios::Scenario pickScenario(const Options& o) {
   if (o.scenario == "mesh") {
     return scenarios::randomMesh(o.seed, o.nodes, o.area, o.flows);
   }
+  if (o.scenario == "dense") {
+    return scenarios::denseMesh(o.seed, o.nodes, o.flows);
+  }
   std::cerr << "unknown scenario '" << o.scenario << "'\n";
   std::exit(2);
 }
@@ -219,13 +222,17 @@ int runSweep(const scenarios::Scenario& scenario,
   // A mesh scenario is itself seed-derived: regenerate the topology per
   // seed so the sweep samples topologies, not just MAC/arrival noise.
   std::vector<exp::SweepJob> jobs;
-  if (options.scenario == "mesh") {
+  if (options.scenario == "mesh" || options.scenario == "dense") {
     for (int i = 0; i < options.runs; ++i) {
       exp::SweepJob job;
       job.config = base;
       job.config.seed = base.seed + static_cast<std::uint64_t>(i);
-      job.scenario = scenarios::randomMesh(job.config.seed, options.nodes,
-                                           options.area, options.flows);
+      job.scenario =
+          options.scenario == "dense"
+              ? scenarios::denseMesh(job.config.seed, options.nodes,
+                                     options.flows)
+              : scenarios::randomMesh(job.config.seed, options.nodes,
+                                      options.area, options.flows);
       job.label = job.scenario.name + "/" +
                   analysis::protocolName(base.protocol) +
                   "/seed=" + std::to_string(job.config.seed);
