@@ -1,0 +1,82 @@
+// Chaos-schedule fuzz harness: run one seeded adversarial fault script
+// against the full GMP stack and check the self-healing invariants
+// (DESIGN.md §13; driven by `maxmin-sim --chaos` and the chaos-smoke CI
+// lane).
+//
+// Oracles checked after each run:
+//   * liveness — the controller ran (almost) every period boundary of
+//     the horizon; a stalled event queue or deadlocked period loop fails
+//     immediately;
+//   * sanity — no flow's delivered rate exceeds the nominal single-link
+//     MAC capacity (with a small slack for measurement quantization);
+//   * self-healing — 2-hop relay coverage, probed once per period, is
+//     complete whenever the fault plane has been quiescent longer than
+//     the grace window;
+//   * re-convergence — the mean hop-weighted equality index over the
+//     fault-free tail reaches tailIeq.
+//
+// A violated run reports ok=false with human-readable violations, the
+// failing seed, and the full fault script serialized as replayable text
+// (sim::parseFaultScript grammar) — reproduction needs no fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmp/types.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/chaos.hpp"
+
+namespace maxmin::analysis {
+
+struct ChaosParams {
+  /// Total simulated time. The ~94 s fault-free tail after healBySeconds
+  /// is what the worst adversarial schedules need to climb back to
+  /// I_eq >= 0.99 (empirically: 34 s strands a few seeds near 0.95).
+  double horizonSeconds = 150.0;
+  double startSeconds = 8.0;     ///< fault-free head (baseline)
+  double healBySeconds = 56.0;   ///< all faults healed by here
+  gmp::GmpParams gmp;
+  sim::ChaosConfig shape;  ///< counts only; topology fields are filled
+                           ///< from the scenario
+
+  double capacitySlack = 1.05;  ///< delivered <= nominal * slack
+  double tailIeq = 0.99;        ///< re-convergence bar, fault-free tail
+  int tailPeriods = 4;          ///< periods averaged for the tail I_eq
+  /// Coverage deficits are tolerated until the fault plane has been
+  /// quiescent this long (repair is event-driven, but a probe can land
+  /// between a fault and the next period's repair-completing announce).
+  double coverageGraceSeconds = 4.0;
+
+  bool repairEnabled = true;       ///< false = canary (static backbone)
+  bool reliabilityEnabled = true;  ///< implicit-ack retransmissions
+};
+
+struct ChaosOutcome {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::vector<std::string> violations;
+  /// Replayable fault script (parseFaultScript grammar).
+  std::string script;
+  int periodsRun = 0;
+  double tailIeq = 0.0;
+  /// Fraction of alive centers with full 2-hop cover, one probe/period.
+  std::vector<double> coverageByPeriod;
+  int coverageViolations = 0;
+  double maxFlowRatePps = 0.0;
+  std::int64_t relayRepairs = 0;
+  std::int64_t retransmits = 0;
+};
+
+/// Generate one chaos schedule from `seed` (named stream "chaos") and
+/// run it on `scenario`, checking every oracle.
+ChaosOutcome runChaosSchedule(const scenarios::Scenario& scenario,
+                              std::uint64_t seed, const ChaosParams& params);
+
+/// Run `count` schedules with consecutive seeds starting at `firstSeed`.
+std::vector<ChaosOutcome> runChaosBatch(const scenarios::Scenario& scenario,
+                                        std::uint64_t firstSeed, int count,
+                                        const ChaosParams& params);
+
+}  // namespace maxmin::analysis

@@ -1,6 +1,7 @@
 #include "analysis/disruption.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "util/check.hpp"
 
@@ -47,6 +48,63 @@ DisruptionReport analyzeDisruption(const RateHistory& history,
       report.reconvergedAtPeriod = p;
       report.periodsToReconverge = p - searchFrom;
       break;
+    }
+  }
+
+  // Time to coverage restoration: find the first coverage deficit at or
+  // after the fault, then the first period back at the threshold. A run
+  // whose coverage never dipped (repair landed within the same period)
+  // restored instantly.
+  if (!config.coverageByPeriod.empty()) {
+    const auto& cov = config.coverageByPeriod;
+    int deficit = -1;
+    for (int p = config.faultPeriod; p < static_cast<int>(cov.size()); ++p) {
+      if (cov[static_cast<std::size_t>(p)] <
+          config.coverageRestoredThreshold) {
+        deficit = p;
+        break;
+      }
+    }
+    if (deficit < 0) {
+      report.coverageRestoredAtPeriod = config.faultPeriod;
+      report.periodsToCoverageRestoration = 0;
+    } else {
+      for (int p = deficit + 1; p < static_cast<int>(cov.size()); ++p) {
+        if (cov[static_cast<std::size_t>(p)] >=
+            config.coverageRestoredThreshold) {
+          report.coverageRestoredAtPeriod = p;
+          report.periodsToCoverageRestoration = p - config.faultPeriod;
+          break;
+        }
+      }
+    }
+  }
+
+  // Per-partition I_eq: during a partition each surviving component can
+  // only be locally consistent, so fairness is scored inside each
+  // component (flows whose source is down, component -1, are skipped).
+  if (!config.partitionHistory.empty()) {
+    const auto periods =
+        std::min(history.size(), config.partitionHistory.size());
+    std::set<std::int32_t> componentIds;
+    for (std::size_t p = 0; p < periods; ++p) {
+      for (const auto& [id, comp] : config.partitionHistory[p]) {
+        if (comp >= 0) componentIds.insert(comp);
+      }
+    }
+    for (const std::int32_t comp : componentIds) {
+      auto& series = report.partitionIeqByPeriod[comp];
+      series.assign(history.size(), 1.0);
+      for (std::size_t p = 0; p < periods; ++p) {
+        std::map<net::FlowId, double> subRates;
+        for (const auto& [id, c] : config.partitionHistory[p]) {
+          if (c != comp) continue;
+          if (const auto it = history[p].find(id); it != history[p].end()) {
+            subRates[id] = it->second;
+          }
+        }
+        if (!subRates.empty()) series[p] = summarize(subRates, hops).ieq;
+      }
     }
   }
   return report;

@@ -28,6 +28,18 @@ struct DisruptionConfig {
   double reconvergeIeq = 0.9;
   /// Number of pre-fault periods whose mean I_eq forms the baseline.
   int baselineWindow = 3;
+
+  /// Optional: per-period fraction of alive nodes whose 2-hop
+  /// neighborhood is covered by their current relay sets (same length
+  /// as the rate history; empty = coverage not tracked). Feeds the
+  /// time-to-coverage-restoration metric.
+  std::vector<double> coverageByPeriod;
+  /// Coverage level that counts as restored (1.0 = full 2-hop cover).
+  double coverageRestoredThreshold = 1.0;
+
+  /// Optional: per-period component id of each flow's source (the
+  /// controller's partitionHistory()); empty = partitions not tracked.
+  std::vector<std::map<net::FlowId, std::int32_t>> partitionHistory;
 };
 
 struct DisruptionReport {
@@ -49,6 +61,19 @@ struct DisruptionReport {
   std::int64_t packetsLost = 0;
   /// I_eq per period over the whole history (diagnostic trace).
   std::vector<double> ieqByPeriod;
+
+  /// First period at/after the fault where relay coverage was back at
+  /// the threshold following a deficit; -1 = never restored, or
+  /// faultPeriod when coverage never dipped. Only set when
+  /// coverageByPeriod was supplied.
+  int coverageRestoredAtPeriod = -1;
+  /// coverageRestoredAtPeriod - faultPeriod; -1 if never restored.
+  int periodsToCoverageRestoration = -1;
+
+  /// Per-component I_eq per period: component id -> one value per
+  /// period of the history (1.0 where the component had no flows that
+  /// period). Only filled when partitionHistory was supplied.
+  std::map<std::int32_t, std::vector<double>> partitionIeqByPeriod;
 };
 
 /// `hops[id]` must exist for every flow in the history.

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "gmp/partition.hpp"
 #include "obs/json.hpp"
 #include "obs/profile.hpp"
 #include "obs/registry.hpp"
@@ -131,6 +132,50 @@ Snapshot Controller::assembleSnapshot(
         });
     if (crossesStale || bridgedNodes.contains(f.src)) {
       snap.impairedFlows.insert(f.id);
+    }
+  }
+
+  // Partition pass (fault runs only). Quarantine keys on *cut links*
+  // alone: a severed path is structurally gone, while a crashed node on
+  // an intact path is a measurement outage that staleness bridging
+  // already rides out without impairing the flows across it.
+  if (faults != nullptr) {
+    const ReachabilitySummary reach =
+        computeReachability(net_.topology(), faults);
+    snap.partitions = reach.components;
+    for (const net::FlowSpec& f : net_.flows()) {
+      const auto path = net_.pathOf(f.id);
+      bool severed = false;
+      for (std::size_t i = 0; i + 1 < path.size() && !severed; ++i) {
+        severed = faults->linkCut(path[i], path[i + 1]);
+      }
+      if (severed) {
+        snap.quarantinedFlows.insert(f.id);
+        snap.impairedFlows.insert(f.id);
+      }
+      snap.flowPartition[f.id] =
+          reach.component[static_cast<std::size_t>(f.src)];
+    }
+    if (reach.partitioned() || !snap.quarantinedFlows.empty()) {
+      ++partitionedPeriods_;
+      flowsQuarantined_ +=
+          static_cast<std::int64_t>(snap.quarantinedFlows.size());
+      MAXMIN_COUNT("gmp.quarantined_flow_periods",
+                   static_cast<std::int64_t>(snap.quarantinedFlows.size()));
+      if (trace_ != nullptr && trace_->wantsEvents()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("record").value("partition");
+        w.key("period").value(periods_);
+        w.key("partitions").value(snap.partitions);
+        w.key("quarantinedFlows").beginArray();
+        for (const net::FlowId id : snap.quarantinedFlows) {
+          w.value(static_cast<std::int64_t>(id));
+        }
+        w.endArray();
+        w.endObject();
+        trace_->writeRecord(w.str());
+      }
     }
   }
 
@@ -355,6 +400,7 @@ void Controller::finishPeriod(Snapshot snapshot) {
 
   violationHistory_.push_back(lastReport_.sourceBufferViolations +
                               lastReport_.bandwidthViolations);
+  partitionHistory_.push_back(snap.flowPartition);
   std::map<net::FlowId, double> rates;
   for (const FlowState& fs : snap.flows) rates[fs.id] = fs.ratePps;
   rateHistory_.push_back(std::move(rates));
@@ -429,6 +475,16 @@ void Controller::emitPeriodTrace() {
     w.value(static_cast<std::int64_t>(id));
   }
   w.endArray();
+  // Partition fields only when something is actually severed, keeping
+  // fault-free period records byte-identical to the pre-§13 format.
+  if (snap.partitions > 1 || !snap.quarantinedFlows.empty()) {
+    w.key("partitions").value(snap.partitions);
+    w.key("quarantinedFlows").beginArray();
+    for (const net::FlowId id : snap.quarantinedFlows) {
+      w.value(static_cast<std::int64_t>(id));
+    }
+    w.endArray();
+  }
   w.key("decision").beginObject();
   w.key("sourceBufferViolations").value(lastReport_.sourceBufferViolations);
   w.key("bandwidthViolations").value(lastReport_.bandwidthViolations);

@@ -77,6 +77,17 @@ class Controller {
   /// Nodes whose last good measurement is currently cached (bridgeable).
   /// Entries are pruned once they age past the staleness TTL.
   [[nodiscard]] std::size_t cachedMeasurements() const;
+  /// Periods during which the alive graph was partitioned or some flow
+  /// path was severed by a cut link.
+  [[nodiscard]] std::int64_t partitionedPeriods() const { return partitionedPeriods_; }
+  /// Flow-periods spent quarantined (path crossing a cut link).
+  [[nodiscard]] std::int64_t flowsQuarantined() const { return flowsQuarantined_; }
+  /// Per-period component id of each flow's source, oldest first —
+  /// feeds analysis::analyzeDisruption's per-partition fairness.
+  const std::vector<std::map<net::FlowId, std::int32_t>>& partitionHistory()
+      const {
+    return partitionHistory_;
+  }
 
  private:
   void tick();
@@ -129,9 +140,12 @@ class Controller {
   /// just before its path went stale (nullopt = was unlimited).
   std::set<net::FlowId> impairedPrev_;
   std::map<net::FlowId, std::optional<double>> preImpairmentLimit_;
+  std::vector<std::map<net::FlowId, std::int32_t>> partitionHistory_;
   std::int64_t staleMeasurementsUsed_ = 0;
   std::int64_t limitsRestored_ = 0;
   std::int64_t skewedPeriods_ = 0;
+  std::int64_t partitionedPeriods_ = 0;
+  std::int64_t flowsQuarantined_ = 0;
 };
 
 }  // namespace maxmin::gmp

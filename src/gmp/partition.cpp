@@ -1,0 +1,36 @@
+#include "gmp/partition.hpp"
+
+namespace maxmin::gmp {
+
+ReachabilitySummary computeReachability(const topo::Topology& topo,
+                                        const sim::FaultPlane* faults) {
+  const std::int32_t n = topo.numNodes();
+  ReachabilitySummary out;
+  out.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<topo::NodeId> frontier;
+  frontier.reserve(static_cast<std::size_t>(n));
+  for (topo::NodeId start = 0; start < n; ++start) {
+    if (out.component[static_cast<std::size_t>(start)] != -1) continue;
+    if (faults != nullptr && !faults->nodeUp(start)) continue;
+    const std::int32_t label = out.components++;
+    out.component[static_cast<std::size_t>(start)] = label;
+    frontier.assign(1, start);
+    while (!frontier.empty()) {
+      const topo::NodeId u = frontier.back();
+      frontier.pop_back();
+      for (const topo::NodeId v : topo.neighbors(u)) {
+        if (out.component[static_cast<std::size_t>(v)] != -1) continue;
+        if (faults != nullptr &&
+            (!faults->nodeUp(v) || !faults->linkUp(u, v))) {
+          continue;
+        }
+        out.component[static_cast<std::size_t>(v)] = label;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace maxmin::gmp

@@ -1,0 +1,45 @@
+// Reachability summary for partition-aware GMP (DESIGN.md §13).
+//
+// At each period boundary the controller computes a cheap connected-
+// component labelling of the *alive* graph: nodes that are up, edges
+// whose links are not cut. Flows whose path crosses a cut link are
+// quarantined — their measured rates describe a path that no longer
+// exists — and each surviving component degrades to a locally-
+// consistent maxmin among the flows it can still see. When partitions
+// re-merge, the controller's existing restore machinery reconciles the
+// limits (pre-impairment limits come back, then normal adjustment
+// resumes).
+//
+// Deliberately O(V + E) per period: one BFS sweep, no allocation beyond
+// the component vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault_plane.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::gmp {
+
+/// Connected-component labelling of the alive graph.
+struct ReachabilitySummary {
+  /// component[node]: dense component id (0-based), or -1 for a node
+  /// that is down.
+  std::vector<std::int32_t> component;
+  std::int32_t components = 0;
+
+  [[nodiscard]] bool partitioned() const { return components > 1; }
+  [[nodiscard]] bool connected(topo::NodeId a, topo::NodeId b) const {
+    const auto ca = component.at(static_cast<std::size_t>(a));
+    const auto cb = component.at(static_cast<std::size_t>(b));
+    return ca >= 0 && ca == cb;
+  }
+};
+
+/// Label the alive graph's connected components. With no fault plane
+/// (nullptr) every node lands in component 0 of a connected topology.
+ReachabilitySummary computeReachability(const topo::Topology& topo,
+                                        const sim::FaultPlane* faults);
+
+}  // namespace maxmin::gmp

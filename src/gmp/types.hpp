@@ -111,6 +111,18 @@ struct Snapshot {
   /// ghosts, so the engine falls back to conservative rate-limit decay.
   std::set<net::FlowId> impairedFlows;
 
+  /// Connected components of the alive graph this period (1 = whole
+  /// network reachable; fault runs only).
+  int partitions = 1;
+  /// Flows whose path crosses a *cut link*: the path is severed outright
+  /// (not merely unmeasured), so their measurements are quarantined.
+  /// Always a subset of impairedFlows. Node crashes do not quarantine —
+  /// staleness bridging handles those.
+  std::set<net::FlowId> quarantinedFlows;
+  /// Component id of each flow's source (-1 = source down). Flows in the
+  /// same component see a locally-consistent maxmin while partitioned.
+  std::map<net::FlowId, std::int32_t> flowPartition;
+
   [[nodiscard]] bool degraded() const {
     return !staleNodes.empty() || !impairedFlows.empty();
   }

@@ -1,0 +1,133 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace maxmin::sim {
+
+namespace {
+
+constexpr double kTickSeconds = 0.25;  // binary-exact quantum
+
+/// Quantize to the 250 ms grid (toward zero; draws are positive).
+double quantize(double seconds) {
+  return static_cast<double>(static_cast<std::int64_t>(seconds / kTickSeconds)) *
+         kTickSeconds;
+}
+
+TimePoint at(double seconds) {
+  return TimePoint::origin() + Duration::seconds(seconds);
+}
+
+FaultEvent nodeEvent(FaultEvent::Kind kind, std::int32_t node, double t) {
+  FaultEvent e;
+  e.kind = kind;
+  e.node = node;
+  e.at = at(t);
+  return e;
+}
+
+FaultEvent linkEvent(FaultEvent::Kind kind, std::int32_t a, std::int32_t b,
+                     double t) {
+  FaultEvent e = nodeEvent(kind, a, t);
+  e.peer = b;
+  return e;
+}
+
+}  // namespace
+
+FaultScript generateChaosSchedule(const ChaosConfig& config, Rng& rng) {
+  MAXMIN_CHECK(config.numNodes > 0);
+  MAXMIN_CHECK(config.minOutageSeconds > 0.0 &&
+               config.minOutageSeconds <= config.maxOutageSeconds);
+  MAXMIN_CHECK_MSG(
+      config.startSeconds + config.maxOutageSeconds < config.healBySeconds,
+      "chaos window too short for the configured outages");
+
+  const double lastStart = config.healBySeconds - config.maxOutageSeconds;
+  const auto drawStart = [&] {
+    return std::max(config.startSeconds,
+                    quantize(rng.uniformReal(config.startSeconds, lastStart)));
+  };
+  const auto drawOutage = [&] {
+    return std::max(kTickSeconds,
+                    quantize(rng.uniformReal(config.minOutageSeconds,
+                                             config.maxOutageSeconds)));
+  };
+
+  FaultScript script;
+
+  // Crash storms: a burst of simultaneous crashes biased toward the
+  // relay backbone, each victim recovering independently.
+  const std::vector<std::int32_t>& victims = config.relayNodes;
+  for (int s = 0; s < config.crashStorms; ++s) {
+    const double t = drawStart();
+    std::set<std::int32_t> storm;
+    const int want =
+        std::min<int>(config.stormSize,
+                      victims.empty() ? config.numNodes
+                                      : static_cast<int>(victims.size()));
+    // Bounded rejection sampling keeps the draw count deterministic-ish
+    // without shuffling the whole candidate list.
+    for (int tries = 0; static_cast<int>(storm.size()) < want && tries < 64;
+         ++tries) {
+      const std::int32_t v =
+          victims.empty()
+              ? static_cast<std::int32_t>(
+                    rng.uniformInt(0, config.numNodes - 1))
+              : victims[static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(victims.size()) - 1))];
+      storm.insert(v);
+    }
+    for (const std::int32_t v : storm) {
+      const double outage = drawOutage();
+      script.events.push_back(nodeEvent(FaultEvent::Kind::kNodeDown, v, t));
+      script.events.push_back(
+          nodeEvent(FaultEvent::Kind::kNodeUp, v, t + outage));
+    }
+  }
+
+  // Flapping links: several short down/up cycles in a row on one link.
+  for (int f = 0; f < config.linkFlaps && !config.links.empty(); ++f) {
+    const auto& [a, b] = config.links[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(config.links.size()) - 1))];
+    double t = drawStart();
+    for (int c = 0; c < config.flapCycles; ++c) {
+      const double down = std::max(
+          kTickSeconds, quantize(rng.uniformReal(config.minOutageSeconds,
+                                                 config.maxOutageSeconds) /
+                                 config.flapCycles));
+      if (t + down > config.healBySeconds) break;
+      script.events.push_back(linkEvent(FaultEvent::Kind::kLinkDown, a, b, t));
+      script.events.push_back(
+          linkEvent(FaultEvent::Kind::kLinkUp, a, b, t + down));
+      t += down + kTickSeconds;  // brief up-gap between cycles
+    }
+  }
+
+  // Partition-then-heal: cut every link of one node at once, restoring
+  // them together. Isolating a node splits the alive graph — flows into
+  // or through it lose their paths until the heal.
+  for (int i = 0; i < config.isolations && !config.links.empty(); ++i) {
+    const std::int32_t victim =
+        static_cast<std::int32_t>(rng.uniformInt(0, config.numNodes - 1));
+    const double t = drawStart();
+    const double outage = drawOutage();
+    for (const auto& [a, b] : config.links) {
+      if (a != victim && b != victim) continue;
+      script.events.push_back(linkEvent(FaultEvent::Kind::kLinkDown, a, b, t));
+      script.events.push_back(
+          linkEvent(FaultEvent::Kind::kLinkUp, a, b, t + outage));
+    }
+  }
+
+  std::stable_sort(script.events.begin(), script.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return script;
+}
+
+}  // namespace maxmin::sim

@@ -1,0 +1,55 @@
+// Seeded chaos-schedule fuzzer for the fault plane.
+//
+// Generates randomized *adversarial* fault scripts rather than benign
+// averages: crash storms aimed at the nodes the control plane leans on
+// (dominating-set relays), links that flap several times in a row, and
+// partition-then-heal cuts that isolate a node entirely. Every schedule
+// is a plain FaultScript, so a failing run replays exactly from the
+// serialized script text (sim::toScriptText) with no fuzzer involved.
+//
+// Determinism: all draws come from the caller-supplied Rng (derive it
+// from a named stream, e.g. Rng{seed}.stream("chaos")). Event times are
+// quantized to 250 ms ticks — exactly representable in binary, so the
+// text round-trips through parseFaultScript microsecond-exact. Every
+// fault is healed by `healBySeconds`, leaving a fault-free tail for the
+// re-convergence oracle.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/fault_plane.hpp"
+#include "util/rng.hpp"
+
+namespace maxmin::sim {
+
+/// Shape of one generated schedule. The caller fills the topology-derived
+/// fields (numNodes, relayNodes, links); the counts say how much of each
+/// kind of adversity to inject.
+struct ChaosConfig {
+  std::int32_t numNodes = 0;
+  /// Preferred crash victims — dominating-set members, i.e. the relay
+  /// backbone. Empty = any node may be hit.
+  std::vector<std::int32_t> relayNodes;
+  /// Real links of the topology (for flaps and isolation cuts).
+  std::vector<std::pair<std::int32_t, std::int32_t>> links;
+
+  double startSeconds = 8.0;    ///< no faults before (baseline window)
+  double healBySeconds = 56.0;  ///< every fault healed by here
+
+  int crashStorms = 1;  ///< simultaneous multi-node crash bursts
+  int stormSize = 2;    ///< victims per storm
+  int linkFlaps = 1;    ///< links that flap repeatedly
+  int flapCycles = 2;   ///< down/up cycles per flapping link
+  int isolations = 1;   ///< nodes whose links are all cut (partition)
+
+  double minOutageSeconds = 2.0;
+  double maxOutageSeconds = 10.0;
+};
+
+/// Generate one schedule. Events come out sorted by time. Requires
+/// numNodes > 0 and startSeconds + maxOutageSeconds < healBySeconds.
+FaultScript generateChaosSchedule(const ChaosConfig& config, Rng& rng);
+
+}  // namespace maxmin::sim

@@ -1,6 +1,7 @@
 #include "sim/fault_plane.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -28,6 +29,58 @@ std::ostream& operator<<(std::ostream& os, const FaultEvent& e) {
   }
   if (e.kind == FaultEvent::Kind::kClockSkew) os << " +" << e.skew;
   return os << " @" << e.at;
+}
+
+namespace {
+
+/// Event/churn times in the script grammar are seconds; print enough
+/// digits that parseFaultScript's Duration::seconds() lands back on the
+/// same microsecond tick for the values we emit.
+void appendSeconds(std::ostringstream& os, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  os << buf;
+}
+
+}  // namespace
+
+std::string toScriptText(const FaultScript& script) {
+  std::ostringstream os;
+  for (const FaultEvent& e : script.events) {
+    os << faultEventKindName(e.kind) << ' ' << e.node;
+    if (e.kind == FaultEvent::Kind::kLinkDown ||
+        e.kind == FaultEvent::Kind::kLinkUp) {
+      os << ' ' << e.peer;
+    }
+    if (e.kind == FaultEvent::Kind::kClockSkew) {
+      os << ' ';
+      appendSeconds(os, e.skew.asSeconds() * 1e3);  // grammar wants ms
+    }
+    os << ' ';
+    appendSeconds(os, e.at.asSeconds());
+    os << '\n';
+  }
+  if (script.churn.enabled()) {
+    os << "churn nodes=";
+    for (std::size_t i = 0; i < script.churn.nodes.size(); ++i) {
+      if (i > 0) os << ',';
+      os << script.churn.nodes[i];
+    }
+    os << " up=";
+    appendSeconds(os, script.churn.meanUpSeconds);
+    os << " down=";
+    appendSeconds(os, script.churn.meanDownSeconds);
+    if (script.churn.start != TimePoint::origin()) {
+      os << " from=";
+      appendSeconds(os, script.churn.start.asSeconds());
+    }
+    if (script.churn.stop != TimePoint::max()) {
+      os << " until=";
+      appendSeconds(os, script.churn.stop.asSeconds());
+    }
+    os << '\n';
+  }
+  return os.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -280,6 +333,10 @@ bool FaultPlane::nodeUp(std::int32_t node) const {
 
 bool FaultPlane::linkUp(std::int32_t a, std::int32_t b) const {
   return nodeUp(a) && nodeUp(b) && !cutLinks_.contains(normalized(a, b));
+}
+
+bool FaultPlane::linkCut(std::int32_t a, std::int32_t b) const {
+  return cutLinks_.contains(normalized(a, b));
 }
 
 Duration FaultPlane::clockSkew(std::int32_t node) const {

@@ -91,6 +91,13 @@ struct FaultScript {
 /// Throws std::invalid_argument on malformed input.
 FaultScript parseFaultScript(std::string_view text);
 
+/// Serialize a script back into the exact grammar parseFaultScript
+/// accepts, one statement per line — the replay format the chaos fuzzer
+/// emits alongside a failing seed. Round-trips exactly for event times on
+/// the microsecond grid that "%.6f" seconds can represent (the chaos
+/// generator quantizes to 250 ms ticks, which always round-trip).
+std::string toScriptText(const FaultScript& script);
+
 /// Observer of fault transitions (e.g. net::Network flushing a crashed
 /// node's volatile state). Callbacks fire after the plane's own state has
 /// been updated, in listener registration order.
@@ -126,6 +133,13 @@ class FaultPlane {
   [[nodiscard]] bool nodeUp(std::int32_t node) const;
   /// True iff both endpoints are up and the undirected link is not cut.
   [[nodiscard]] bool linkUp(std::int32_t a, std::int32_t b) const;
+  /// True iff the undirected link is explicitly cut (independent of the
+  /// endpoints' up/down state). The partition-aware controller keys its
+  /// quarantine decisions on cuts alone: node crashes are handled by the
+  /// measurement-staleness machinery, which deliberately bridges short
+  /// outages instead of quarantining them.
+  [[nodiscard]] bool linkCut(std::int32_t a, std::int32_t b) const;
+  [[nodiscard]] std::size_t cutLinkCount() const { return cutLinks_.size(); }
   [[nodiscard]] Duration clockSkew(std::int32_t node) const;
   /// Largest skew across all nodes (the controller's assembly delay).
   [[nodiscard]] Duration maxClockSkew() const;

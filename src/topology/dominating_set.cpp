@@ -5,6 +5,44 @@
 
 namespace maxmin::topo {
 
+namespace {
+
+bool allAlive(NodeId /*a*/, NodeId /*b*/) { return true; }
+
+/// Shared greedy set cover: pick candidates (already filtered by the
+/// caller) until every target is covered or no candidate helps. Ties
+/// break toward the smaller node id for determinism.
+std::vector<NodeId> greedyCover(const Topology& topo,
+                                std::set<NodeId> uncovered,
+                                std::set<NodeId> candidates,
+                                const LinkAliveFn& linkAlive) {
+  std::vector<NodeId> chosen;
+  while (!uncovered.empty() && !candidates.empty()) {
+    NodeId best = kNoNode;
+    std::size_t bestGain = 0;
+    for (NodeId c : candidates) {
+      std::size_t gain = 0;
+      for (NodeId n : topo.neighbors(c)) {
+        if (uncovered.contains(n) && linkAlive(c, n)) ++gain;
+      }
+      if (gain > bestGain || (gain == bestGain && gain > 0 && c < best)) {
+        best = c;
+        bestGain = gain;
+      }
+    }
+    if (bestGain == 0) break;  // remaining targets unreachable via relays
+    chosen.push_back(best);
+    candidates.erase(best);
+    for (NodeId n : topo.neighbors(best)) {
+      if (linkAlive(best, n)) uncovered.erase(n);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
 std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center) {
   // Targets: two-hop neighbors not already covered by center's own
   // broadcast (i.e. not one-hop neighbors).
@@ -15,29 +53,32 @@ std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center) {
       uncovered.insert(n);
     }
   }
+  return greedyCover(topo, std::move(uncovered),
+                     {oneHop.begin(), oneHop.end()}, allAlive);
+}
 
-  std::vector<NodeId> chosen;
-  std::set<NodeId> candidates(oneHop.begin(), oneHop.end());
-  while (!uncovered.empty() && !candidates.empty()) {
-    NodeId best = kNoNode;
-    std::size_t bestGain = 0;
-    for (NodeId c : candidates) {
-      std::size_t gain = 0;
-      for (NodeId n : topo.neighbors(c)) {
-        if (uncovered.contains(n)) ++gain;
-      }
-      if (gain > bestGain || (gain == bestGain && gain > 0 && c < best)) {
-        best = c;
-        bestGain = gain;
-      }
-    }
-    if (bestGain == 0) break;  // remaining targets unreachable via relays
-    chosen.push_back(best);
-    candidates.erase(best);
-    for (NodeId n : topo.neighbors(best)) uncovered.erase(n);
+std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center,
+                                         const std::vector<char>& nodeAlive,
+                                         const LinkAliveFn& linkAlive) {
+  const auto alive = [&](NodeId n) {
+    return nodeAlive[static_cast<std::size_t>(n)] != 0;
+  };
+  // Candidates: alive one-hop neighbors that can actually hear center.
+  std::set<NodeId> candidates;
+  for (NodeId n : topo.neighbors(center)) {
+    if (alive(n) && linkAlive(center, n)) candidates.insert(n);
   }
-  std::sort(chosen.begin(), chosen.end());
-  return chosen;
+  // Targets: every alive node in the 2-hop scope that does not hear the
+  // origin's own broadcast — including a one-hop neighbor whose direct
+  // link is cut (it must now be covered via a relay). Whether a target is
+  // still reachable is greedyCover's problem (uncoverable targets are
+  // simply dropped, the same way the static overload drops them).
+  std::set<NodeId> uncovered;
+  for (NodeId n : topo.twoHopNeighborhood(center)) {
+    if (alive(n) && !candidates.contains(n)) uncovered.insert(n);
+  }
+  return greedyCover(topo, std::move(uncovered), std::move(candidates),
+                     linkAlive);
 }
 
 std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
@@ -49,6 +90,48 @@ std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
   }
   covered.erase(center);
   return {covered.begin(), covered.end()};
+}
+
+std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
+                                  const std::vector<NodeId>& relays,
+                                  const std::vector<char>& nodeAlive,
+                                  const LinkAliveFn& linkAlive) {
+  const auto alive = [&](NodeId n) {
+    return nodeAlive[static_cast<std::size_t>(n)] != 0;
+  };
+  std::set<NodeId> covered;
+  if (alive(center)) {
+    for (NodeId n : topo.neighbors(center)) {
+      if (alive(n) && linkAlive(center, n)) covered.insert(n);
+    }
+  }
+  for (NodeId r : relays) {
+    if (!alive(r) || !linkAlive(center, r)) continue;  // relay heard nothing
+    for (NodeId n : topo.neighbors(r)) {
+      if (alive(n) && linkAlive(r, n)) covered.insert(n);
+    }
+  }
+  covered.erase(center);
+  return {covered.begin(), covered.end()};
+}
+
+std::vector<NodeId> reachableTwoHop(const Topology& topo, NodeId center,
+                                    const std::vector<char>& nodeAlive,
+                                    const LinkAliveFn& linkAlive) {
+  const auto alive = [&](NodeId n) {
+    return nodeAlive[static_cast<std::size_t>(n)] != 0;
+  };
+  std::set<NodeId> reach;
+  if (!alive(center)) return {};
+  for (NodeId n : topo.neighbors(center)) {
+    if (!alive(n) || !linkAlive(center, n)) continue;
+    reach.insert(n);
+    for (NodeId m : topo.neighbors(n)) {
+      if (alive(m) && linkAlive(n, m)) reach.insert(m);
+    }
+  }
+  reach.erase(center);
+  return {reach.begin(), reach.end()};
 }
 
 }  // namespace maxmin::topo

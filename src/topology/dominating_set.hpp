@@ -6,23 +6,57 @@
 // Step 2). Minimum set cover is NP-hard; we use the standard greedy
 // approximation, with ties broken toward the smaller node id for
 // determinism.
+//
+// The fault-aware overloads recompute the same greedy cover against the
+// *currently alive* subgraph: dead nodes are neither candidates nor
+// targets, and cut links carry neither the origin's broadcast nor a
+// relay's rebroadcast. They take the live state as a node vector plus a
+// link predicate so the topology layer stays independent of sim's
+// FaultPlane (callers pass `faults->linkUp` or an always-true lambda).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "topology/topology.hpp"
 
 namespace maxmin::topo {
 
+/// True iff the undirected link (a, b) currently carries frames.
+using LinkAliveFn = std::function<bool(NodeId, NodeId)>;
+
 /// One-hop neighbors of `center` chosen as rebroadcasters. Two-hop
 /// neighbors reachable through no one-hop neighbor (impossible in a
 /// consistent topology) would be ignored.
 std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center);
+
+/// Fault-aware variant: candidates are alive one-hop neighbors with a
+/// live link from `center`; targets are alive two-hop neighbors still
+/// reachable through some candidate's live link. Reduces to the overload
+/// above when everything is alive.
+std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center,
+                                         const std::vector<char>& nodeAlive,
+                                         const LinkAliveFn& linkAlive);
 
 /// Nodes reached by a broadcast from `center` relayed once by `relays`:
 /// the union of center's neighbors and the relays' neighbors, minus
 /// center itself. Used by tests to verify 2-hop coverage.
 std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
                                   const std::vector<NodeId>& relays);
+
+/// Fault-aware coverage: only alive neighbors heard over live links
+/// count, and dead relays relay nothing.
+std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
+                                  const std::vector<NodeId>& relays,
+                                  const std::vector<char>& nodeAlive,
+                                  const LinkAliveFn& linkAlive);
+
+/// The targets a 2-hop dissemination from `center` must reach under the
+/// current fault state: alive strict two-hop neighbors reachable via an
+/// alive one-hop neighbor over live links, plus center's own alive
+/// one-hop neighbors. The oracle for self-healing coverage checks.
+std::vector<NodeId> reachableTwoHop(const Topology& topo, NodeId center,
+                                    const std::vector<char>& nodeAlive,
+                                    const LinkAliveFn& linkAlive);
 
 }  // namespace maxmin::topo

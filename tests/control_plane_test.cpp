@@ -13,6 +13,8 @@
 #include "gmp/neighborhood.hpp"
 #include "net/network.hpp"
 #include "scenarios/scenarios.hpp"
+#include "sim/fault_plane.hpp"
+#include "topology/dominating_set.hpp"
 
 namespace maxmin::gmp {
 namespace {
@@ -140,6 +142,135 @@ TEST(Dissemination, BroadcastsCoexistWithDataTraffic) {
   EXPECT_GE(diss.messagesSent(), 10);
   EXPECT_GT(net.delivered(0) + net.delivered(1) + net.delivered(2), 500);
   EXPECT_FALSE(diss.reachedBy(2, 9).empty());
+}
+
+// --- self-healing backbone (DESIGN.md §13) -----------------------------------
+
+TEST(Repair, RelayCrashRecoversTwoHopCoverage) {
+  // A dense mesh is where dominating sets are proper subsets of the
+  // neighbor list — crash a relay and the greedy re-cover must swap in
+  // a substitute so 2-hop coverage survives. Find a center whose relay
+  // set excludes at least one neighbor, then kill one of its relays.
+  const auto sc = scenarios::randomMesh(1, 12, 700.0, 5);
+  topo::NodeId center = topo::kNoNode;
+  topo::NodeId victim = topo::kNoNode;
+  for (topo::NodeId c = 0; c < sc.topology.numNodes(); ++c) {
+    const auto relays = topo::computeDominatingSet(sc.topology, c);
+    if (!relays.empty() &&
+        relays.size() < sc.topology.neighbors(c).size()) {
+      center = c;
+      victim = relays.front();
+      break;
+    }
+  }
+  ASSERT_NE(center, topo::kNoNode) << "mesh seed has no non-trivial set";
+
+  auto net = makeIdleNetwork(sc);
+  sim::FaultPlane& faults = net.enableFaults(
+      sim::parseFaultScript("crash " + std::to_string(victim) + " 1"));
+  LinkStateDissemination diss{net};
+  const auto before = diss.relaysOf(center);
+  net.run(Duration::seconds(2.0));
+
+  EXPECT_GT(diss.relayRepairs(), 0);
+  EXPECT_NE(diss.relaysOf(center), before)
+      << "the crashed relay must be replaced, not kept";
+  // Coverage oracle: every target still reachable in 2 hops is covered
+  // by the repaired set under the current fault state.
+  std::vector<char> alive(static_cast<std::size_t>(sc.topology.numNodes()),
+                          1);
+  alive[static_cast<std::size_t>(victim)] = 0;
+  const topo::LinkAliveFn link = [&faults](topo::NodeId a, topo::NodeId b) {
+    return faults.linkUp(a, b);
+  };
+  const auto targets =
+      topo::reachableTwoHop(sc.topology, center, alive, link);
+  const auto covered =
+      topo::relayCoverage(sc.topology, center, diss.relaysOf(center), alive,
+                          link);
+  EXPECT_TRUE(std::includes(covered.begin(), covered.end(), targets.begin(),
+                            targets.end()))
+      << "repaired relays leave a 2-hop coverage hole";
+}
+
+TEST(Repair, CanaryHookFreezesStaticSets) {
+  const auto sc = scenarios::randomMesh(1, 12, 700.0, 5);
+  auto net = makeIdleNetwork(sc);
+  net.enableFaults(sim::parseFaultScript("crash 3 1"));
+  LinkStateDissemination diss{net};
+  diss.disableRepairForTest();
+  const auto before = diss.relaysOf(3);
+  net.run(Duration::seconds(2.0));
+  EXPECT_EQ(diss.relayRepairs(), 0);
+  EXPECT_EQ(diss.relaysOf(3), before);
+}
+
+TEST(Reliability, ImplicitAcksConfirmDeliveryWithoutRetransmits) {
+  // On an idle channel every relay's rebroadcast is overheard by the
+  // origin well inside the ack timeout: the pending entry clears via
+  // implicit acks alone and the backoff machinery never fires.
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  LinkStateDissemination diss{net};
+  diss.enableReliability({});
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.25}});
+  net.run(Duration::seconds(2.0));
+
+  EXPECT_GT(diss.implicitAcks(), 0);
+  EXPECT_EQ(diss.retransmits(), 0);
+  EXPECT_EQ(diss.deliveryFailures(), 0);
+  EXPECT_EQ(diss.messagesSent(), 1);
+}
+
+TEST(Reliability, BoundedRetransmitsGiveUpUnderTotalControlLoss) {
+  // Every control frame is destroyed in flight: no relay ever echoes,
+  // so the origin retries exactly maxRetransmits times under backoff
+  // and then abandons the announcement — bounded, not forever.
+  const auto sc = scenarios::fig3();
+  auto flows = sc.flows;
+  for (auto& f : flows) f.desiredRate = PacketRate::perSecond(1.0);
+  net::NetworkConfig cfg = baselines::configGmp({});
+  cfg.seed = 31;
+  cfg.impairments.per = 1.0;
+  cfg.impairments.scope = phys::ImpairmentConfig::Scope::kControlFrames;
+  net::Network net{sc.topology, cfg, flows};
+
+  LinkStateDissemination diss{net};
+  ReliabilityParams params;
+  params.maxRetransmits = 3;
+  diss.enableReliability(params);
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.25}});
+  net.run(Duration::seconds(5.0));
+
+  EXPECT_EQ(diss.retransmits(), 3);
+  EXPECT_EQ(diss.deliveryFailures(), 1);
+  EXPECT_EQ(diss.implicitAcks(), 0);
+}
+
+TEST(Dissemination, CrashedOriginStateAgesOut) {
+  // Regression: receivers used to keep the "last value heard" forever,
+  // so a crashed origin's link state poisoned rate computation for the
+  // rest of the run. Entries must expire stateTtl after the last
+  // refresh.
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  LinkStateDissemination diss{net};
+  diss.setStateTtl(Duration::seconds(2.0));
+
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.25}});
+  net.run(Duration::millis(100));
+  ASSERT_TRUE(diss.knownStates(0).contains(topo::Link{1, 2}));
+
+  // The origin goes silent (crashed); its state must age out everywhere.
+  net.run(Duration::seconds(3.0));
+  EXPECT_FALSE(diss.knownStates(0).contains(topo::Link{1, 2}));
+  EXPECT_FALSE(diss.knownStates(2).contains(topo::Link{1, 2}));
+  EXPECT_GT(diss.expiredStates(), 0);
+
+  // A fresh announcement after the origin recovers re-populates stores.
+  diss.announce(1, {{topo::Link{1, 2}, 60.0, 0.3}});
+  net.run(Duration::millis(100));
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 60.0);
 }
 
 // --- per-node clique discovery ------------------------------------------------

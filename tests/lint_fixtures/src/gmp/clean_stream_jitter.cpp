@@ -1,0 +1,19 @@
+// Fixture: jitter drawn from a position-independent named stream stays
+// silent, as does an identifier that merely contains "fork" (forkLift).
+namespace fixture {
+
+struct Rng {
+  Rng stream(const char* name, int index = 0) const {
+    return Rng{seed + index + (name != nullptr ? 1 : 0)};
+  }
+  double uniformReal(double lo, double hi) const { return lo + hi + seed; }
+  int seed = 0;
+};
+
+double backoffJitter(int seed) {
+  Rng rng = Rng{seed}.stream("dissemination");
+  const int forkLift = 2;
+  return rng.uniformReal(0.0, 0.5) * forkLift;
+}
+
+}  // namespace fixture

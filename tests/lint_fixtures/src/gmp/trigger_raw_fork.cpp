@@ -1,0 +1,15 @@
+// Fixture: a fork() draw outside the frozen bring-up order must fire
+// [raw-fork] — inserting it would reseed every later fork() child.
+namespace fixture {
+
+struct Rng {
+  Rng fork() { return Rng{}; }
+  double uniformReal(double lo, double hi) { return lo + hi; }
+};
+
+double backoffJitter(Rng& parent) {
+  Rng child = parent.fork();
+  return child.uniformReal(0.0, 0.5);
+}
+
+}  // namespace fixture

@@ -285,6 +285,151 @@ TEST(GmpDegradation, CachedMeasurementsArePrunedPastTtl) {
   EXPECT_TRUE(controller.lastSnapshot().staleNodes.contains(1));
 }
 
+// --- partition-aware GMP (DESIGN.md §13) -------------------------------------
+
+TEST(Partition, CutLinkQuarantinesSeveredFlowsOnly) {
+  // Cutting link 1-2 on the Fig. 3 chain splits the alive graph into
+  // {0,1} and {2,3}. Flows f1 (0->3) and f2 (1->3) cross the cut and
+  // are quarantined; f3 (2->3) lives entirely in the far component and
+  // must keep being adjusted normally.
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("linkdown 1 2 6"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(13.0));
+
+  const auto& snap = controller.lastSnapshot();
+  EXPECT_EQ(snap.partitions, 2);
+  EXPECT_TRUE(snap.quarantinedFlows.contains(0));
+  EXPECT_TRUE(snap.quarantinedFlows.contains(1));
+  EXPECT_FALSE(snap.quarantinedFlows.contains(2));
+  EXPECT_TRUE(snap.impairedFlows.contains(0))
+      << "quarantined flows are a subset of impaired flows";
+  EXPECT_GT(controller.partitionedPeriods(), 0);
+  EXPECT_GT(controller.flowsQuarantined(), 0);
+  // The locally-consistent components: sources 0,1 on one side of the
+  // cut, source 2 on the other.
+  EXPECT_EQ(snap.flowPartition.at(0), snap.flowPartition.at(1));
+  EXPECT_NE(snap.flowPartition.at(0), snap.flowPartition.at(2));
+}
+
+TEST(Partition, ReMergeLiftsQuarantineAndReconcilesLimits) {
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("linkdown 1 2 6; linkup 1 2 18"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(40.0));
+
+  const auto& snap = controller.lastSnapshot();
+  EXPECT_EQ(snap.partitions, 1);
+  EXPECT_TRUE(snap.quarantinedFlows.empty());
+  // Reconciliation rides the existing restore machinery: the severed
+  // flows' pre-fault limits came back when the partition healed.
+  EXPECT_GT(controller.limitsRestored(), 0);
+  const auto& history = controller.partitionHistory();
+  ASSERT_FALSE(history.empty());
+  EXPECT_EQ(history.size(), static_cast<std::size_t>(controller.periodsRun()));
+}
+
+TEST(Partition, NodeCrashDoesNotQuarantine) {
+  // A crashed node splits the alive graph too, but its flows' paths are
+  // structurally intact: staleness bridging (and, past the TTL, stale
+  // decay) handles them. Quarantine keys on cut links alone, so flows
+  // crossing the bridged node stay un-quarantined.
+  const auto sc = scenarios::fig3();
+  auto net = makeGmpNetwork(sc, 11);
+  net.enableFaults(sim::parseFaultScript("crash 1 6"));
+  gmp::Controller controller{net, gmp::GmpParams{}};
+  controller.start();
+  net.run(Duration::seconds(13.0));
+
+  const auto& snap = controller.lastSnapshot();
+  EXPECT_EQ(snap.partitions, 2) << "node 0 is severed from {2,3}";
+  EXPECT_TRUE(snap.quarantinedFlows.empty());
+}
+
+// --- disruption analysis extensions ------------------------------------------
+
+TEST(DisruptionExtensions, CoverageRestorationAndPerPartitionIeq) {
+  // Synthetic 8-period run: two flows (1 hop each), fault at period 2,
+  // coverage dips periods 2-3 and is back at period 4; the flows sit in
+  // separate components during periods 2-4.
+  analysis::RateHistory history;
+  for (int p = 0; p < 8; ++p) {
+    history.push_back({{0, 100.0}, {1, p == 2 ? 40.0 : 100.0}});
+  }
+  const std::map<net::FlowId, int> hops{{0, 1}, {1, 1}};
+
+  analysis::DisruptionConfig cfg;
+  cfg.faultPeriod = 2;
+  cfg.recoveryPeriod = 4;
+  cfg.coverageByPeriod = {1.0, 1.0, 0.75, 0.75, 1.0, 1.0, 1.0, 1.0};
+  for (int p = 0; p < 8; ++p) {
+    const bool split = p >= 2 && p <= 4;
+    cfg.partitionHistory.push_back({{0, 0}, {1, split ? 1 : 0}});
+  }
+
+  const auto report = analysis::analyzeDisruption(history, hops, cfg);
+  EXPECT_EQ(report.coverageRestoredAtPeriod, 4);
+  EXPECT_EQ(report.periodsToCoverageRestoration, 2);
+  // Component 0 always contains flow 0 (steady 100 pps): I_eq stays 1.
+  ASSERT_TRUE(report.partitionIeqByPeriod.contains(0));
+  ASSERT_TRUE(report.partitionIeqByPeriod.contains(1));
+  for (const double ieq : report.partitionIeqByPeriod.at(1)) {
+    EXPECT_DOUBLE_EQ(ieq, 1.0)
+        << "a single-flow component is trivially locally consistent";
+  }
+  // During the split each component is fair in isolation even though the
+  // global I_eq dips at period 2.
+  EXPECT_LT(report.ieqByPeriod[2], 1.0);
+  EXPECT_DOUBLE_EQ(report.partitionIeqByPeriod.at(0)[2], 1.0);
+
+  // A run whose coverage never dips restores instantly.
+  analysis::DisruptionConfig clean = cfg;
+  clean.coverageByPeriod.assign(8, 1.0);
+  const auto cleanReport = analysis::analyzeDisruption(history, hops, clean);
+  EXPECT_EQ(cleanReport.periodsToCoverageRestoration, 0);
+}
+
+TEST(DisseminationHardening, RebootMidWraparoundIsSeriallyNewer) {
+  // The origin crashes at seq 65534 and reboots with a zeroed counter.
+  // Serial arithmetic makes seq 0 *newer* than 65534 (distance 2), so
+  // the rebooted origin re-enters immediately — no freshness-TTL wait,
+  // no rebootAccepts — exactly as if it had wrapped normally.
+  const auto sc = scenarios::fig3();
+  auto net = makeIdleNetwork(sc);
+  gmp::LinkStateDissemination diss{net};
+
+  diss.setNextSeqForTest(1, gmp::LinkStateDissemination::kSeqModulus - 2);
+  diss.announce(1, {{topo::Link{1, 2}, 50.0, 0.5}});
+  net.run(Duration::millis(100));
+  ASSERT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 50.0);
+
+  diss.setNextSeqForTest(1, 0);  // reboot lost the counter mid-wrap
+  diss.announce(1, {{topo::Link{1, 2}, 60.0, 0.6}});
+  net.run(Duration::millis(100));
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 60.0);
+  EXPECT_EQ(diss.rebootAccepts(), 0)
+      << "serially-newer reboot must not need the reboot path";
+  EXPECT_EQ(diss.staleDropped(), 0);
+
+  // A reboot landing in the serially-*older* half is the hard case: it
+  // must wait out the freshness TTL like any stale sequence.
+  diss.setFreshnessTtl(Duration::seconds(2.0));
+  diss.setNextSeqForTest(1, 40000);
+  diss.announce(1, {{topo::Link{1, 2}, 70.0, 0.7}});
+  net.run(Duration::millis(100));
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 60.0);
+  EXPECT_GT(diss.staleDropped(), 0);
+  net.run(Duration::seconds(2.5));
+  diss.announce(1, {{topo::Link{1, 2}, 80.0, 0.8}});
+  net.run(Duration::millis(100));
+  EXPECT_DOUBLE_EQ(diss.knownStates(0).at(topo::Link{1, 2}).normRate, 80.0);
+  EXPECT_GT(diss.rebootAccepts(), 0);
+}
+
 // --- the acceptance experiment ----------------------------------------------
 
 TEST(GmpDegradation, Fig4CrashRecoveryWithBurstyControlLossReconverges) {

@@ -34,6 +34,13 @@ DESIGN.md §10):
                    worse — leaks host time into results that must be a
                    pure function of the seed. (Simulation subsystems are
                    covered by the stricter wall-clock rule instead.)
+  raw-fork         Rng::fork() is order-sensitive: inserting one call
+                   shifts every later child's stream, silently reseeding
+                   unrelated subsystems. Only the construction-time node
+                   bring-up in src/net/network.cpp may fork; everything
+                   added later (jitter, backoff, chaos schedules) draws
+                   from a position-independent named stream —
+                   Rng{seed}.stream("name").
   per-frame-distance
                    The frame pipeline (src/phys|mac) must not query
                    geometry per frame: Topology::distanceBetween() costs
@@ -72,6 +79,9 @@ HEADER_SUFFIXES = (".hpp", ".h")
 # Files where a rule never applies (the one place the primitive belongs).
 BAKED_ALLOW = {
     "raw-rng": ("src/util/rng.hpp",),
+    # The definition itself, and the one sanctioned call site: per-node
+    # stack bring-up, whose fork order is frozen by the seed contract.
+    "raw-fork": ("src/util/rng.hpp", "src/net/network.cpp"),
 }
 
 
@@ -159,6 +169,16 @@ RULES = [
         "is an uncancellable event",
         [],  # structural rule, see check_nodiscard()
         lambda rel: rel.startswith("src/") and _is_header(rel),
+    ),
+    Rule(
+        "raw-fork",
+        "Rng::fork() outside the frozen bring-up order; new randomness "
+        "draws from a named stream (Rng{seed}.stream(\"...\")) so "
+        "inserting a consumer cannot reseed every later fork() child",
+        [
+            r"\.\s*fork\s*\(\s*\)",
+        ],
+        lambda rel: rel.startswith("src/"),
     ),
     Rule(
         "per-frame-distance",

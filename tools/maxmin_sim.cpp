@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/chaos_harness.hpp"
 #include "analysis/experiment.hpp"
 #include "analysis/trace_replay.hpp"
 #include "exp/sweep.hpp"
@@ -56,6 +57,11 @@ struct Options {
   bool profile = false;   // per-site wall-time histograms on stderr
   bool metrics = false;   // metrics-registry dump on stderr (needs
                           // a MAXMIN_OBSERVABILITY=ON build to be non-empty)
+  int chaos = 0;          // run N fuzzed fault schedules (0 = off)
+  double chaosHorizon = 150.0;
+  double chaosHeal = 56.0;
+  double chaosTailIeq = 0.99;
+  bool chaosCanary = false;  // disable repair: the fuzzer must catch it
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -82,7 +88,16 @@ struct Options {
       << "  --trace-level  period|event        trace granularity (default period)\n"
       << "  --profile   print per-callback-site wall-time histograms\n"
       << "  --metrics   print the metrics registry (counters are compiled\n"
-      << "              in only with -DMAXMIN_OBSERVABILITY=ON)\n";
+      << "              in only with -DMAXMIN_OBSERVABILITY=ON)\n"
+      << "  --chaos N           fuzz N seeded fault schedules (seeds seed..seed+N-1)\n"
+      << "                      against the scenario and check the self-healing\n"
+      << "                      invariants; exit 1 and print a replayable script\n"
+      << "                      on any violation\n"
+      << "  --chaos-horizon S   simulated seconds per schedule    (default 150)\n"
+      << "  --chaos-heal S      all faults healed by here         (default 56)\n"
+      << "  --chaos-tail-ieq X  re-convergence bar for the tail   (default 0.99)\n"
+      << "  --chaos-canary      run with dominating-set repair disabled (the\n"
+      << "                      coverage oracle must catch this)\n";
   std::exit(2);
 }
 
@@ -136,6 +151,16 @@ Options parse(int argc, char** argv) {
       o.profile = true;
     } else if (arg == "--metrics") {
       o.metrics = true;
+    } else if (arg == "--chaos") {
+      o.chaos = std::stoi(value());
+    } else if (arg == "--chaos-horizon") {
+      o.chaosHorizon = std::stod(value());
+    } else if (arg == "--chaos-heal") {
+      o.chaosHeal = std::stod(value());
+    } else if (arg == "--chaos-tail-ieq") {
+      o.chaosTailIeq = std::stod(value());
+    } else if (arg == "--chaos-canary") {
+      o.chaosCanary = true;
     } else {
       usage(argv[0]);
     }
@@ -211,6 +236,47 @@ analysis::Protocol pickProtocol(const Options& o) {
   if (o.protocol == "gmp") return analysis::Protocol::kGmp;
   std::cerr << "unknown protocol '" << o.protocol << "'\n";
   std::exit(2);
+}
+
+int runChaos(const scenarios::Scenario& scenario, const Options& options) {
+  analysis::ChaosParams params;
+  params.horizonSeconds = options.chaosHorizon;
+  params.healBySeconds = options.chaosHeal;
+  params.tailIeq = options.chaosTailIeq;
+  params.repairEnabled = !options.chaosCanary;
+  if (params.healBySeconds >= params.horizonSeconds) {
+    std::cerr << "--chaos-heal must leave a fault-free tail before "
+                 "--chaos-horizon\n";
+    return 2;
+  }
+
+  const auto outcomes = analysis::runChaosBatch(scenario, options.seed,
+                                                options.chaos, params);
+  int failed = 0;
+  for (const auto& o : outcomes) {
+    if (o.ok) continue;
+    ++failed;
+    std::cout << "FAIL seed=" << o.seed << " (" << o.periodsRun
+              << " periods, tail I_eq " << o.tailIeq << ")\n";
+    for (const auto& v : o.violations) std::cout << "  " << v << '\n';
+    std::cout << "  replay with --faults on this script:\n";
+    std::istringstream lines{o.script};
+    for (std::string line; std::getline(lines, line);) {
+      std::cout << "    " << line << '\n';
+    }
+  }
+  std::int64_t repairs = 0;
+  std::int64_t retransmits = 0;
+  for (const auto& o : outcomes) {
+    repairs += o.relayRepairs;
+    retransmits += o.retransmits;
+  }
+  std::cout << (options.chaos - failed) << '/' << options.chaos
+            << " chaos schedules ok on " << scenario.name << " (seeds "
+            << options.seed << ".." << options.seed + options.chaos - 1
+            << ", " << repairs << " relay repairs, " << retransmits
+            << " retransmits)\n";
+  return failed == 0 ? 0 : 1;
 }
 
 int runSweep(const scenarios::Scenario& scenario,
@@ -303,6 +369,8 @@ int runSweep(const scenarios::Scenario& scenario,
 int main(int argc, char** argv) {
   const Options options = parse(argc, argv);
   const auto scenario = pickScenario(options);
+
+  if (options.chaos > 0) return runChaos(scenario, options);
 
   if (options.profile) obs::Profiler::setEnabled(true);
   if (options.metrics) obs::Registry::setEnabled(true);

@@ -42,6 +42,7 @@ def main(argv):
 
     periods = []
     event_counts = {}
+    partition_recs = []
     try:
         with open(args.trace, encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, 1):
@@ -59,13 +60,15 @@ def main(argv):
                     periods.append(rec)
                 else:
                     event_counts[kind] = event_counts.get(kind, 0) + 1
+                    if kind == "partition":
+                        partition_recs.append(rec)
     except OSError as e:
         print(f"cannot read {args.trace}: {e}", file=sys.stderr)
         return 1
 
     header = ["period", "time_s", "flows", "I_mm", "I_eq",
               "U_pkt_hops_per_s", "violations", "commands", "stale_nodes",
-              "impaired_flows"]
+              "impaired_flows", "partitions", "quarantined"]
     rows = []
     for rec in periods:
         imm, ieq, u = fairness(rec.get("flows", []))
@@ -83,6 +86,9 @@ def main(argv):
             decision.get("commands", 0),
             len(rec.get("staleNodes", [])),
             len(rec.get("impairedFlows", [])),
+            # Fault-free traces omit the partition fields entirely.
+            rec.get("partitions", 1),
+            len(rec.get("quarantinedFlows", [])),
         ])
 
     if args.csv:
@@ -96,6 +102,23 @@ def main(argv):
         print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
         for row in rows:
             print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+    # Fault/repair digest: the self-healing control plane's event records
+    # (relay repairs, dissemination retransmits/failures, partitions).
+    fault_kinds = ["fault", "relay_repair", "retransmit", "delivery_failure",
+                   "partition", "stale_substitution", "limit_restored"]
+    seen_fault = [k for k in fault_kinds if event_counts.get(k)]
+    if seen_fault:
+        print()
+        print("fault/repair events:")
+        for kind in seen_fault:
+            print(f"  {kind}: {event_counts[kind]}")
+        if partition_recs:
+            peak = max(r.get("partitions", 1) for r in partition_recs)
+            quarantined = sum(len(r.get("quarantinedFlows", []))
+                              for r in partition_recs)
+            print(f"  peak_partitions: {peak}")
+            print(f"  quarantined_flow_periods: {quarantined}")
 
     if args.events and event_counts:
         print()
