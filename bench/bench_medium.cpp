@@ -129,6 +129,76 @@ void BM_MediumDenseMacro(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumDenseMacro)->Unit(benchmark::kMillisecond);
 
+/// Topology construction at scale: grid-bucketed neighbor discovery +
+/// CSR assembly on a constant-density (~12 tx-degree) uniform layout.
+/// Above the dense-adjacency threshold (2048 nodes) no n^2-bit matrices
+/// are built, so memory — reported via the `bytes` counter — must track
+/// nodes + edges. This is the N = 100k wall the old all-pairs loop
+/// could not cross; tools/emit_bench_kernel.sh --topo snapshots it as
+/// BENCH_topology.json.
+void BM_TopologyConstruct(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const double side = scenarios::meshSideForDegree(n, 12.0);
+  Rng rng{7};
+  std::vector<topo::Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniformReal(0, side), rng.uniformReal(0, side)});
+  }
+  std::size_t bytes = 0;
+  std::int64_t edges = 0;
+  for (auto _ : state) {
+    topo::Topology t = topo::Topology::fromPositions(pts);
+    bytes = t.memoryFootprintBytes();
+    edges = t.numEdges();
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["edges"] = static_cast<double>(edges);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("items = nodes");
+}
+BENCHMARK(BM_TopologyConstruct)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(800)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Arg(100000);
+
+/// The staggered start/finish workload on a sparse-mode mesh (above the
+/// dense threshold): exercises the per-cs-neighbor corruption probe and
+/// CSR row iteration that large-N simulations run on.
+void BM_MediumSparseStartFinish(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto sc = scenarios::randomMesh(
+      99, n, scenarios::meshSideForDegree(n, 5.0), 2);
+  Harness h{topo::Topology::fromPositions(
+      [&] {
+        std::vector<topo::Point> pts;
+        for (topo::NodeId a = 0; a < sc.topology.numNodes(); ++a) {
+          pts.push_back(sc.topology.position(a));
+        }
+        return pts;
+      }(),
+      topo::RadioRanges{}, topo::TopologyOptions{0})};
+  Rng rng{42};
+  constexpr int kRounds = 2;
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (topo::NodeId s = 0; s < h.topo.numNodes(); ++s) {
+        h.sim.post(Duration::micros(rng.uniformInt(0, 400)),
+                   [&h, s] { h.medium.startTransmission(dataFrame(s, 100)); });
+      }
+      h.sim.run();
+      frames += h.topo.numNodes();
+    }
+  }
+  state.SetItemsProcessed(frames);
+  state.SetLabel("items = frames");
+}
+BENCHMARK(BM_MediumSparseStartFinish)->Arg(5000)->Arg(20000);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 
 #include "util/check.hpp"
 
@@ -25,25 +26,11 @@ Medium::Medium(sim::Simulator& sim, const topo::Topology& topo)
   energy_.assign(n, 0);
   transmitting_.assign(n, 0);
 
-  // Flatten both range relations into CSR arrays (ascending ids, same
-  // iteration order as the old per-node vectors).
-  const topo::AdjacencyMatrix& tx = topo.txAdjacency();
-  const topo::AdjacencyMatrix& cs = topo.csAdjacency();
-  txOff_.assign(n + 1, 0);
-  csOff_.assign(n + 1, 0);
+  // Range relations are read straight from the topology's CSR rows; the
+  // only derived quantity is the largest tx out-degree (spill sizing).
   for (std::size_t a = 0; a < n; ++a) {
-    const auto id = static_cast<topo::NodeId>(a);
-    txOff_[a + 1] = txOff_[a] + static_cast<std::uint32_t>(tx.rowDegree(id));
-    csOff_[a + 1] = csOff_[a] + static_cast<std::uint32_t>(cs.rowDegree(id));
-    maxTxDegree_ = std::max(maxTxDegree_,
-                            static_cast<std::size_t>(tx.rowDegree(id)));
-  }
-  txList_.reserve(txOff_[n]);
-  csList_.reserve(csOff_[n]);
-  for (std::size_t a = 0; a < n; ++a) {
-    const auto id = static_cast<topo::NodeId>(a);
-    tx.forEachInRow(id, [this](topo::NodeId b) { txList_.push_back(b); });
-    cs.forEachInRow(id, [this](topo::NodeId b) { csList_.push_back(b); });
+    maxTxDegree_ = std::max(
+        maxTxDegree_, topo.neighbors(static_cast<topo::NodeId>(a)).size());
   }
 
   // Preallocate every per-frame structure to its lifetime bound: at most
@@ -53,9 +40,9 @@ Medium::Medium(sim::Simulator& sim, const topo::Topology& topo)
   freeSlots_.reserve(n);
   rxAt_.resize(n);
   for (std::size_t a = 0; a < n; ++a) {
-    rxAt_[a].reserve(txDegree(static_cast<topo::NodeId>(a)));
+    rxAt_[a].reserve(topo.neighbors(static_cast<topo::NodeId>(a)).size());
   }
-  rxPendingBits_.assign(cs.wordsPerRow(), 0);
+  rxPendingBits_.assign((n + 63) / 64, 0);
   finishScratch_.reserve(maxTxDegree_);
 }
 
@@ -176,9 +163,9 @@ void Medium::startTransmission(const Frame& frame) {
 
   // Pending receptions: every node in decode range. Corrupt on arrival if
   // the receiver already senses other energy or is itself transmitting.
-  const std::uint32_t degree = txDegree(sender);
+  const std::span<const topo::NodeId> txNb = topo_.neighbors(sender);
+  const auto degree = static_cast<std::uint32_t>(txNb.size());
   PendingRx* rxs = acquireRxStorage(tx, degree);
-  const topo::NodeId* txNb = txBegin(sender);
   for (std::uint32_t i = 0; i < degree; ++i) {
     const topo::NodeId r = txNb[i];
     const bool corrupted = transmitting_[static_cast<std::size_t>(r)] != 0 ||
@@ -188,16 +175,31 @@ void Medium::startTransmission(const Frame& frame) {
   tx.rxCount = degree;
 
   // This transmission corrupts any in-flight reception at a node that
-  // senses it: intersect the sender's carrier-sense row with the nodes
-  // holding pending receptions — a word-wise AND — instead of scanning
-  // every active transmission's reception list.
-  const std::uint64_t* csRow = topo_.csAdjacency().row(sender);
-  for (std::size_t w = 0; w < rxPendingBits_.size(); ++w) {
-    std::uint64_t hits = csRow[w] & rxPendingBits_[w];
-    while (hits != 0) {
-      const auto r = static_cast<std::size_t>(w * 64) +
-                     static_cast<std::size_t>(std::countr_zero(hits));
-      hits &= hits - 1;
+  // senses it — never a scan of every active transmission's reception
+  // list. Dense topologies intersect the sender's packed carrier-sense
+  // row with the pending-reception bitset (word-wise AND); sparse ones
+  // (no n²-bit matrices) probe one pending bit per cs CSR neighbor,
+  // O(cs-degree) regardless of N.
+  const std::span<const topo::NodeId> csNb = topo_.csNeighbors(sender);
+  if (topo_.hasDenseAdjacency()) {
+    const std::uint64_t* csRow = topo_.csAdjacency().row(sender);
+    for (std::size_t w = 0; w < rxPendingBits_.size(); ++w) {
+      std::uint64_t hits = csRow[w] & rxPendingBits_[w];
+      while (hits != 0) {
+        const auto r = static_cast<std::size_t>(w * 64) +
+                       static_cast<std::size_t>(std::countr_zero(hits));
+        hits &= hits - 1;
+        for (const RxRef& ref : rxAt_[r]) {
+          receptions(active_[ref.slot])[ref.index].corrupted = true;
+        }
+      }
+    }
+  } else {
+    for (const topo::NodeId nb : csNb) {
+      const auto r = static_cast<std::size_t>(nb);
+      if ((rxPendingBits_[r / 64] & (std::uint64_t{1} << (r % 64))) == 0) {
+        continue;
+      }
       for (const RxRef& ref : rxAt_[r]) {
         receptions(active_[ref.slot])[ref.index].corrupted = true;
       }
@@ -209,9 +211,7 @@ void Medium::startTransmission(const Frame& frame) {
     receptions(active_[ref.slot])[ref.index].corrupted = true;
   }
 
-  const std::uint32_t csDeg = csDegree(sender);
-  const topo::NodeId* csNb = csBegin(sender);
-  for (std::uint32_t i = 0; i < csDeg; ++i) raiseEnergy(csNb[i]);
+  for (const topo::NodeId nb : csNb) raiseEnergy(nb);
 
   indexReceptions(slot);
 
@@ -243,9 +243,7 @@ void Medium::finishTransmission(std::size_t slot) {
 
   if (silent) return;  // nothing was radiated
 
-  const std::uint32_t csDeg = csDegree(sender);
-  const topo::NodeId* csNb = csBegin(sender);
-  for (std::uint32_t i = 0; i < csDeg; ++i) lowerEnergy(csNb[i]);
+  for (const topo::NodeId nb : topo_.csNeighbors(sender)) lowerEnergy(nb);
 
   for (const PendingRx& rx : finishScratch_) {
     auto* radio = radios_[static_cast<std::size_t>(rx.receiver)];

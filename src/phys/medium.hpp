@@ -14,13 +14,16 @@
 // preallocated at construction so steady-state start/finish perform zero
 // heap allocations:
 //
-//  * range relations are flat CSR neighbor arrays plus the topology's
-//    packed AdjacencyMatrix rows — carrier-sense membership is a bit
-//    test, never a distance computation;
+//  * range relations are the topology's own CSR neighbor rows, consumed
+//    in place (no per-Medium copy) — membership comes precomputed,
+//    never from a distance computation;
 //  * a reverse per-receiver reception index (rxAt_ + the rxPendingBits_
 //    bitset) lets a new transmission corrupt exactly the nodes that both
-//    sense it and hold in-flight receptions — a word-wise AND of two
-//    bitsets — instead of scanning every active transmission's list;
+//    sense it and hold in-flight receptions. Below the topology's dense
+//    threshold that is a word-wise AND of the packed csAdjacency row
+//    with the pending bitset; above it (no n²-bit matrices) the scan
+//    walks the sender's sorted cs CSR row and tests one pending bit per
+//    cs-neighbor — O(cs-degree), independent of N (DESIGN.md §14);
 //  * pending receptions live inline in the transmission record (<= 8
 //    receivers) or in a pooled spill arena block; records are recycled
 //    through a free list shared by the silent and radiating paths.
@@ -165,22 +168,6 @@ class Medium {
   void indexReceptions(std::uint32_t slot);
   void unindexReception(topo::NodeId receiver, std::uint32_t slot);
 
-  // CSR accessors over the flattened neighbor arrays.
-  [[nodiscard]] const topo::NodeId* txBegin(topo::NodeId n) const {
-    return txList_.data() + txOff_[static_cast<std::size_t>(n)];
-  }
-  [[nodiscard]] std::uint32_t txDegree(topo::NodeId n) const {
-    return txOff_[static_cast<std::size_t>(n) + 1] -
-           txOff_[static_cast<std::size_t>(n)];
-  }
-  [[nodiscard]] const topo::NodeId* csBegin(topo::NodeId n) const {
-    return csList_.data() + csOff_[static_cast<std::size_t>(n)];
-  }
-  [[nodiscard]] std::uint32_t csDegree(topo::NodeId n) const {
-    return csOff_[static_cast<std::size_t>(n) + 1] -
-           csOff_[static_cast<std::size_t>(n)];
-  }
-
   sim::Simulator& sim_;
   const topo::Topology& topo_;
   std::vector<RadioListener*> radios_;
@@ -203,15 +190,11 @@ class Medium {
   // Reverse reception index: per receiver, the in-flight receptions
   // targeting it (capacity = in-degree, reserved at construction); plus
   // one bit per node saying "this node holds pending receptions", so the
-  // corruption scan is csRow(sender) AND rxPendingBits_.
+  // corruption scan is csRow(sender) AND rxPendingBits_ (dense) or a
+  // per-cs-neighbor bit probe (sparse). The range relations themselves
+  // are read straight from topo_'s CSR rows — the Medium holds no copy.
   std::vector<std::vector<RxRef>> rxAt_;
   std::vector<std::uint64_t> rxPendingBits_;
-
-  // Flattened (CSR) neighbor arrays, built once from the topology's
-  // adjacency matrices: txList_ drives reception setup, csList_ drives
-  // energy raise/lower, both in ascending id order.
-  std::vector<std::uint32_t> txOff_, csOff_;
-  std::vector<topo::NodeId> txList_, csList_;
 
   // Scratch for finishTransmission: receptions are copied out before the
   // slot is recycled because delivery callbacks may start transmissions

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 #include <set>
+#include <unordered_map>
 
 #include "topology/routing.hpp"
 #include "util/check.hpp"
@@ -153,17 +154,31 @@ Scenario randomMesh(std::uint64_t seed, int nodes, double areaSide,
     }
     topo::Topology topo = topo::Topology::fromPositions(pts);
 
-    // Sample distinct multi-hop connected (src, dst) pairs.
+    // Sample distinct multi-hop connected (src, dst) pairs. The guard
+    // counts *distinct* candidate pairs only: self-pairs and repeat
+    // draws are pure rejections and must not burn the budget, or high
+    // flow counts on small node sets spuriously fail (at numFlows near
+    // n(n-1) the last few pairs each take O(n^2) draws to hit). Routing
+    // trees are cached per destination — they depend only on the
+    // topology, and recomputing a BFS per candidate made sampling
+    // O(candidates * (n + edges)). Neither change touches the RNG draw
+    // order, so fixed-seed meshes stay bit-identical.
     std::vector<net::FlowSpec> flows;
-    std::set<std::pair<topo::NodeId, topo::NodeId>> used;
-    int guard = 0;
-    while (static_cast<int>(flows.size()) < numFlows && guard++ < 1000) {
+    std::set<std::pair<topo::NodeId, topo::NodeId>> tried;
+    std::unordered_map<topo::NodeId, topo::RoutingTree> trees;
+    const auto maxDistinct =
+        static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes - 1);
+    while (static_cast<int>(flows.size()) < numFlows &&
+           tried.size() < std::min<std::size_t>(1000, maxDistinct)) {
       const auto src = static_cast<topo::NodeId>(rng.uniformInt(0, nodes - 1));
       const auto dst = static_cast<topo::NodeId>(rng.uniformInt(0, nodes - 1));
-      if (src == dst || used.contains({src, dst})) continue;
-      const auto tree = topo::RoutingTree::shortestPaths(topo, dst);
-      if (!tree.reaches(src)) continue;
-      used.insert({src, dst});
+      if (src == dst || !tried.insert({src, dst}).second) continue;
+      auto it = trees.find(dst);
+      if (it == trees.end()) {
+        it = trees.emplace(dst, topo::RoutingTree::shortestPaths(topo, dst))
+                 .first;
+      }
+      if (!it->second.reaches(src)) continue;
       const auto id = static_cast<net::FlowId>(flows.size());
       flows.push_back(flow(id, src, dst, 1.0, desiredPps,
                            "f" + std::to_string(id + 1)));

@@ -9,11 +9,24 @@ namespace maxmin::topo {
 namespace {
 
 /// Classic Bron-Kerbosch with pivot selection. Vertex sets are plain
-/// sorted vectors; conflict graphs in radio networks have tens of links,
-/// so asymptotics are irrelevant next to clarity.
+/// sorted vectors. The per-vertex conflict neighbor lists are built once
+/// up front (cliques are enumerated per 2-hop LocalView, so a vertex's
+/// neighbors are asked for many times during the recursion — recomputing
+/// them was an O(links) scan per query).
 class BronKerbosch {
  public:
-  explicit BronKerbosch(const ConflictGraph& graph) : graph_{graph} {}
+  explicit BronKerbosch(const ConflictGraph& graph) : graph_{graph} {
+    const auto n = static_cast<std::size_t>(graph.numLinks());
+    neighbors_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t u = 0; u < n; ++u) {
+        if (u != v && graph.conflicts(static_cast<int>(v),
+                                      static_cast<int>(u))) {
+          neighbors_[v].push_back(static_cast<int>(u));
+        }
+      }
+    }
+  }
 
   std::vector<std::vector<int>> run() {
     std::vector<int> all(static_cast<std::size_t>(graph_.numLinks()));
@@ -24,12 +37,8 @@ class BronKerbosch {
   }
 
  private:
-  std::vector<int> neighborsOf(int v) const {
-    std::vector<int> result;
-    for (int u = 0; u < graph_.numLinks(); ++u) {
-      if (u != v && graph_.conflicts(v, u)) result.push_back(u);
-    }
-    return result;
+  const std::vector<int>& neighborsOf(int v) const {
+    return neighbors_.at(static_cast<std::size_t>(v));
   }
 
   static std::vector<int> intersect(const std::vector<int>& a,
@@ -57,12 +66,12 @@ class BronKerbosch {
         }
       }
     }
-    const std::vector<int> pivotNeighbors = neighborsOf(pivot);
+    const std::vector<int>& pivotNeighbors = neighborsOf(pivot);
     std::vector<int> candidates;
     std::set_difference(p.begin(), p.end(), pivotNeighbors.begin(),
                         pivotNeighbors.end(), std::back_inserter(candidates));
     for (int v : candidates) {
-      const std::vector<int> nv = neighborsOf(v);
+      const std::vector<int>& nv = neighborsOf(v);
       std::vector<int> r2 = r;
       r2.insert(std::lower_bound(r2.begin(), r2.end(), v), v);
       expand(std::move(r2), intersect(p, nv), intersect(x, nv));
@@ -72,6 +81,7 @@ class BronKerbosch {
   }
 
   const ConflictGraph& graph_;
+  std::vector<std::vector<int>> neighbors_;
   std::vector<std::vector<int>> found_;
 };
 

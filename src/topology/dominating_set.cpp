@@ -1,7 +1,7 @@
 #include "topology/dominating_set.hpp"
 
 #include <algorithm>
-#include <set>
+#include <span>
 
 namespace maxmin::topo {
 
@@ -9,12 +9,31 @@ namespace {
 
 bool allAlive(NodeId /*a*/, NodeId /*b*/) { return true; }
 
+// All working sets here are sorted NodeId vectors bounded by the 2-hop
+// neighborhood, fed from the topology's CSR rows (which are ascending):
+// no tree nodes, no O(n) state, so repair paths stay cheap as N grows.
+
+bool sortedContains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void sortedErase(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+}
+
+void sortUnique(std::vector<NodeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
 /// Shared greedy set cover: pick candidates (already filtered by the
 /// caller) until every target is covered or no candidate helps. Ties
-/// break toward the smaller node id for determinism.
+/// break toward the smaller node id for determinism (candidates are
+/// iterated ascending, so the first max-gain candidate wins).
 std::vector<NodeId> greedyCover(const Topology& topo,
-                                std::set<NodeId> uncovered,
-                                std::set<NodeId> candidates,
+                                std::vector<NodeId> uncovered,
+                                std::vector<NodeId> candidates,
                                 const LinkAliveFn& linkAlive) {
   std::vector<NodeId> chosen;
   while (!uncovered.empty() && !candidates.empty()) {
@@ -23,7 +42,7 @@ std::vector<NodeId> greedyCover(const Topology& topo,
     for (NodeId c : candidates) {
       std::size_t gain = 0;
       for (NodeId n : topo.neighbors(c)) {
-        if (uncovered.contains(n) && linkAlive(c, n)) ++gain;
+        if (sortedContains(uncovered, n) && linkAlive(c, n)) ++gain;
       }
       if (gain > bestGain || (gain == bestGain && gain > 0 && c < best)) {
         best = c;
@@ -32,9 +51,9 @@ std::vector<NodeId> greedyCover(const Topology& topo,
     }
     if (bestGain == 0) break;  // remaining targets unreachable via relays
     chosen.push_back(best);
-    candidates.erase(best);
+    sortedErase(candidates, best);
     for (NodeId n : topo.neighbors(best)) {
-      if (linkAlive(best, n)) uncovered.erase(n);
+      if (linkAlive(best, n)) sortedErase(uncovered, n);
     }
   }
   std::sort(chosen.begin(), chosen.end());
@@ -46,11 +65,11 @@ std::vector<NodeId> greedyCover(const Topology& topo,
 std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center) {
   // Targets: two-hop neighbors not already covered by center's own
   // broadcast (i.e. not one-hop neighbors).
-  const std::vector<NodeId> oneHop = topo.neighbors(center);
-  std::set<NodeId> uncovered;
+  const std::span<const NodeId> oneHop = topo.neighbors(center);
+  std::vector<NodeId> uncovered;
   for (NodeId n : topo.twoHopNeighborhood(center)) {
     if (!std::binary_search(oneHop.begin(), oneHop.end(), n)) {
-      uncovered.insert(n);
+      uncovered.push_back(n);  // two-hop rows are ascending
     }
   }
   return greedyCover(topo, std::move(uncovered),
@@ -64,18 +83,18 @@ std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center,
     return nodeAlive[static_cast<std::size_t>(n)] != 0;
   };
   // Candidates: alive one-hop neighbors that can actually hear center.
-  std::set<NodeId> candidates;
+  std::vector<NodeId> candidates;
   for (NodeId n : topo.neighbors(center)) {
-    if (alive(n) && linkAlive(center, n)) candidates.insert(n);
+    if (alive(n) && linkAlive(center, n)) candidates.push_back(n);
   }
   // Targets: every alive node in the 2-hop scope that does not hear the
   // origin's own broadcast — including a one-hop neighbor whose direct
   // link is cut (it must now be covered via a relay). Whether a target is
   // still reachable is greedyCover's problem (uncoverable targets are
   // simply dropped, the same way the static overload drops them).
-  std::set<NodeId> uncovered;
+  std::vector<NodeId> uncovered;
   for (NodeId n : topo.twoHopNeighborhood(center)) {
-    if (alive(n) && !candidates.contains(n)) uncovered.insert(n);
+    if (alive(n) && !sortedContains(candidates, n)) uncovered.push_back(n);
   }
   return greedyCover(topo, std::move(uncovered), std::move(candidates),
                      linkAlive);
@@ -83,13 +102,16 @@ std::vector<NodeId> computeDominatingSet(const Topology& topo, NodeId center,
 
 std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
                                   const std::vector<NodeId>& relays) {
-  std::set<NodeId> covered;
-  for (NodeId n : topo.neighbors(center)) covered.insert(n);
+  std::vector<NodeId> covered;
+  const auto oneHop = topo.neighbors(center);
+  covered.assign(oneHop.begin(), oneHop.end());
   for (NodeId r : relays) {
-    for (NodeId n : topo.neighbors(r)) covered.insert(n);
+    const auto row = topo.neighbors(r);
+    covered.insert(covered.end(), row.begin(), row.end());
   }
-  covered.erase(center);
-  return {covered.begin(), covered.end()};
+  sortUnique(covered);
+  sortedErase(covered, center);
+  return covered;
 }
 
 std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
@@ -99,20 +121,21 @@ std::vector<NodeId> relayCoverage(const Topology& topo, NodeId center,
   const auto alive = [&](NodeId n) {
     return nodeAlive[static_cast<std::size_t>(n)] != 0;
   };
-  std::set<NodeId> covered;
+  std::vector<NodeId> covered;
   if (alive(center)) {
     for (NodeId n : topo.neighbors(center)) {
-      if (alive(n) && linkAlive(center, n)) covered.insert(n);
+      if (alive(n) && linkAlive(center, n)) covered.push_back(n);
     }
   }
   for (NodeId r : relays) {
     if (!alive(r) || !linkAlive(center, r)) continue;  // relay heard nothing
     for (NodeId n : topo.neighbors(r)) {
-      if (alive(n) && linkAlive(r, n)) covered.insert(n);
+      if (alive(n) && linkAlive(r, n)) covered.push_back(n);
     }
   }
-  covered.erase(center);
-  return {covered.begin(), covered.end()};
+  sortUnique(covered);
+  sortedErase(covered, center);
+  return covered;
 }
 
 std::vector<NodeId> reachableTwoHop(const Topology& topo, NodeId center,
@@ -121,17 +144,18 @@ std::vector<NodeId> reachableTwoHop(const Topology& topo, NodeId center,
   const auto alive = [&](NodeId n) {
     return nodeAlive[static_cast<std::size_t>(n)] != 0;
   };
-  std::set<NodeId> reach;
   if (!alive(center)) return {};
+  std::vector<NodeId> reach;
   for (NodeId n : topo.neighbors(center)) {
     if (!alive(n) || !linkAlive(center, n)) continue;
-    reach.insert(n);
+    reach.push_back(n);
     for (NodeId m : topo.neighbors(n)) {
-      if (alive(m) && linkAlive(n, m)) reach.insert(m);
+      if (alive(m) && linkAlive(n, m)) reach.push_back(m);
     }
   }
-  reach.erase(center);
-  return {reach.begin(), reach.end()};
+  sortUnique(reach);
+  sortedErase(reach, center);
+  return reach;
 }
 
 }  // namespace maxmin::topo

@@ -1,0 +1,67 @@
+#include "topology/spatial_grid.hpp"
+
+#include "topology/topology.hpp"
+#include "util/check.hpp"
+
+namespace maxmin::topo {
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& positions,
+                         double cellSide) {
+  MAXMIN_CHECK(cellSide > 0.0);
+  cellSide_ = cellSide;
+  const std::size_t n = positions.size();
+  if (n == 0) {
+    cellsX_ = cellsY_ = 1;
+    cellOff_.assign(2, 0);
+    return;
+  }
+  double maxX = positions[0].x;
+  double maxY = positions[0].y;
+  minX_ = positions[0].x;
+  minY_ = positions[0].y;
+  for (const Point& p : positions) {
+    minX_ = p.x < minX_ ? p.x : minX_;
+    minY_ = p.y < minY_ ? p.y : minY_;
+    maxX = p.x > maxX ? p.x : maxX;
+    maxY = p.y > maxY ? p.y : maxY;
+  }
+  // Cells larger than the query radius keep the 3x3-block coverage
+  // invariant, so when positions are spread out relative to cellSide
+  // (cells >> nodes) we coarsen the grid until the cell table is O(n):
+  // memory stays O(nodes + edges) no matter the coordinate extent.
+  const double cellLimit = 4.0 * static_cast<double>(n) + 1.0;
+  for (;;) {
+    const double fx = (maxX - minX_) / cellSide_;
+    const double fy = (maxY - minY_) / cellSide_;
+    if ((fx + 1.0) * (fy + 1.0) <= cellLimit) {
+      cellsX_ = static_cast<int>(fx) + 1;
+      cellsY_ = static_cast<int>(fy) + 1;
+      break;
+    }
+    cellSide_ *= 2.0;
+  }
+  const std::size_t cells = static_cast<std::size_t>(cellsX_) *
+                            static_cast<std::size_t>(cellsY_);
+
+  // Counting sort by cell: one pass to count occupants, one prefix sum,
+  // one fill pass in ascending id order (so each bucket is ascending).
+  cellOff_.assign(cells + 1, 0);
+  std::vector<std::uint32_t> cellOf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cx = cellCoord(positions[i].x, minX_, cellsX_);
+    const int cy = cellCoord(positions[i].y, minY_, cellsY_);
+    const auto c = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(cy) * static_cast<std::size_t>(cellsX_) +
+        static_cast<std::size_t>(cx));
+    cellOf[i] = c;
+    ++cellOff_[c + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) cellOff_[c + 1] += cellOff_[c];
+  cellNodes_.resize(n);
+  std::vector<std::uint32_t> fill(cellOff_.begin(), cellOff_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    cellNodes_[fill[cellOf[i]]++] = static_cast<NodeId>(i);
+  }
+}
+
+}  // namespace maxmin::topo

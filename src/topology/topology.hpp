@@ -2,15 +2,24 @@
 // (decodable) and carrier-sense (sensable/interfering) relations.
 //
 // The paper assumes a static multihop network (e.g. a mesh with external
-// power); all graphs here are computed once at construction. Both
-// relations are materialized twice: as sorted neighbor lists (for
-// iteration) and as packed AdjacencyMatrix bitsets (for O(1) membership
-// and word-wise row intersections in the frame pipeline). Construction
-// compares squared distances, so building an N-node topology performs no
-// sqrt at all; distance()/distanceBetween() remain for reporting.
+// power); all graphs here are computed once at construction, via a
+// grid-bucketed SpatialGrid so construction is O(nodes + edges) — no
+// O(n^2) pair scan, no sqrt (range predicates compare squared
+// distances; distance()/distanceBetween() remain for reporting).
+//
+// The canonical representation of both relations is CSR: one flat
+// NodeId array plus per-node offsets, ascending within each row. Below
+// kDenseAdjacencyMaxNodes the packed AdjacencyMatrix bitsets are also
+// materialized (O(1) membership tests; word-wise row intersections in
+// phys::Medium's corruption scan). Above it the n^2-bit matrices would
+// dominate memory (~600 MB per relation at N = 50k), so only the CSR
+// arrays exist and membership is a binary search of the row — callers
+// on the frame hot path branch on hasDenseAdjacency() and fall back to
+// sorted-CSR merges (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "topology/adjacency.hpp"
@@ -40,12 +49,24 @@ struct RadioRanges {
   double csRange = 550.0;
 };
 
+/// Construction knobs. The dense-matrix threshold exists so tests can
+/// force the sparse representation on small graphs; production callers
+/// keep the default.
+struct TopologyOptions {
+  /// Materialize packed AdjacencyMatrix bitsets only at or below this
+  /// node count (2048 nodes = 512 KiB per relation; the next dense mesh
+  /// size we sweep, 5k, would already cost 3 MB each and 100k would
+  /// cost 1.2 GB).
+  int denseAdjacencyMaxNodes = 2048;
+};
+
 class Topology {
  public:
   /// Build from explicit node positions. Node ids are indices into the
   /// position vector.
   static Topology fromPositions(std::vector<Point> positions,
-                                RadioRanges ranges = {});
+                                RadioRanges ranges = {},
+                                TopologyOptions options = {});
 
   [[nodiscard]] int numNodes() const { return static_cast<int>(positions_.size()); }
   [[nodiscard]] Point position(NodeId id) const { return positions_.at(checkId(id)); }
@@ -54,41 +75,79 @@ class Topology {
   [[nodiscard]] double distanceBetween(NodeId a, NodeId b) const;
 
   /// True when a and b can exchange decodable frames (within txRange).
-  /// O(1): a bit test against the precomputed adjacency matrix.
+  /// O(1) bit test when the dense matrices exist, O(log deg) binary
+  /// search of the CSR row otherwise.
   [[nodiscard]] bool areNeighbors(NodeId a, NodeId b) const {
     if (a == b) return false;
     static_cast<void>(checkId(a));
     static_cast<void>(checkId(b));
-    return txAdj_.test(a, b);
+    if (dense_) return txAdj_.test(a, b);
+    return rowContains(neighbors(a), b);
   }
 
   /// True when a transmission by `a` is sensed at `b` (within csRange).
-  /// Symmetric; a node does not sense itself. O(1) bit test.
+  /// Symmetric; a node does not sense itself. Same cost as areNeighbors.
   [[nodiscard]] bool inCsRange(NodeId a, NodeId b) const {
     if (a == b) return false;
     static_cast<void>(checkId(a));
     static_cast<void>(checkId(b));
-    return csAdj_.test(a, b);
+    if (dense_) return csAdj_.test(a, b);
+    return rowContains(csNeighbors(a), b);
   }
 
+  /// True when the packed AdjacencyMatrix views exist (numNodes at or
+  /// below TopologyOptions::denseAdjacencyMaxNodes).
+  [[nodiscard]] bool hasDenseAdjacency() const { return dense_; }
+
   /// Packed decodable-neighbor relation (row a ∋ b ⟺ areNeighbors(a, b)).
-  [[nodiscard]] const AdjacencyMatrix& txAdjacency() const { return txAdj_; }
+  /// Only available when hasDenseAdjacency().
+  [[nodiscard]] const AdjacencyMatrix& txAdjacency() const {
+    MAXMIN_CHECK_MSG(dense_, "no dense adjacency above the size threshold");
+    return txAdj_;
+  }
 
   /// Packed carrier-sense relation (row a ∋ b ⟺ inCsRange(a, b)).
-  [[nodiscard]] const AdjacencyMatrix& csAdjacency() const { return csAdj_; }
+  /// Only available when hasDenseAdjacency().
+  [[nodiscard]] const AdjacencyMatrix& csAdjacency() const {
+    MAXMIN_CHECK_MSG(dense_, "no dense adjacency above the size threshold");
+    return csAdj_;
+  }
 
-  /// One-hop neighbors (decodable), ascending id order.
-  const std::vector<NodeId>& neighbors(NodeId id) const {
-    return neighbors_.at(checkId(id));
+  /// One-hop neighbors (decodable), ascending id order: a view into the
+  /// CSR row, valid for the topology's lifetime.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
+    const std::size_t i = checkId(id);
+    return {txList_.data() + txOff_[i], txList_.data() + txOff_[i + 1]};
+  }
+
+  /// Carrier-sense neighbors (energy heard), ascending id order; a
+  /// superset of neighbors(). View into the CSR row.
+  [[nodiscard]] std::span<const NodeId> csNeighbors(NodeId id) const {
+    const std::size_t i = checkId(id);
+    return {csList_.data() + csOff_[i], csList_.data() + csOff_[i + 1]};
   }
 
   /// Nodes exactly one or two hops away in the neighbor graph, ascending,
   /// excluding `id` itself. This is the scope over which the paper
-  /// disseminates link state. Memoized at construction: GMP queries it
-  /// every dissemination period, so it must not recompute (or allocate).
-  [[nodiscard]] const std::vector<NodeId>& twoHopNeighborhood(NodeId id) const {
-    return twoHop_.at(checkId(id));
+  /// disseminates link state. Memoized lazily per node from the CSR rows
+  /// (O(deg²) gather + sort on first touch, free afterwards): GMP queries
+  /// it every dissemination period, so repeated calls must not recompute
+  /// or allocate — and eager construction would cost O(Σ deg²) memory up
+  /// front even for runs that never disseminate. Instances are not
+  /// shared across threads (sweep jobs copy their scenario), so the lazy
+  /// fill needs no synchronization.
+  [[nodiscard]] const std::vector<NodeId>& twoHopNeighborhood(NodeId id) const;
+
+  /// Total undirected decodable links.
+  [[nodiscard]] std::int64_t numEdges() const {
+    return static_cast<std::int64_t>(txList_.size()) / 2;
   }
+
+  /// Bytes held by the topology's containers (positions, CSR arrays,
+  /// dense matrices when present, memoized two-hop rows). The bench
+  /// artifact BENCH_topology.json records this to prove construction
+  /// memory stays O(nodes + edges) above the dense threshold.
+  [[nodiscard]] std::size_t memoryFootprintBytes() const;
 
  private:
   [[nodiscard]] std::size_t checkId(NodeId id) const {
@@ -96,12 +155,25 @@ class Topology {
     return static_cast<std::size_t>(id);
   }
 
+  [[nodiscard]] static bool rowContains(std::span<const NodeId> row, NodeId b);
+
   std::vector<Point> positions_;
   RadioRanges ranges_;
-  std::vector<std::vector<NodeId>> neighbors_;
-  std::vector<std::vector<NodeId>> twoHop_;
+
+  // CSR rows for both relations: offsets index into the flat lists,
+  // ascending ids within each row.
+  std::vector<std::uint32_t> txOff_, csOff_;
+  std::vector<NodeId> txList_, csList_;
+
+  // Dense bitset views, only materialized when dense_ (small N).
+  bool dense_ = false;
   AdjacencyMatrix txAdj_;
   AdjacencyMatrix csAdj_;
+
+  // Lazy two-hop memo (see twoHopNeighborhood). Mutable: filling the
+  // cache is not observable behavior.
+  mutable std::vector<std::vector<NodeId>> twoHop_;
+  mutable std::vector<std::uint8_t> twoHopReady_;
 };
 
 }  // namespace maxmin::topo

@@ -1,0 +1,6 @@
+// Fixture: control bytes spelled escaped stay plain text: \u0000 and
+// \x07 are fine in comments and literals; tabs	are ordinary
+// whitespace and must not fire the rule.
+namespace maxmin::analysis {
+inline const char* escapedNul() { return "\u0000 spelled out"; }
+}  // namespace maxmin::analysis

@@ -8,6 +8,7 @@
 #include "phys/medium.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace maxmin::phys {
 namespace {
@@ -37,8 +38,9 @@ Frame makeFrame(topo::NodeId from, topo::NodeId to, std::int64_t micros) {
 
 struct Fixture {
   explicit Fixture(std::vector<topo::Point> pts,
-                   topo::RadioRanges ranges = {})
-      : topo{topo::Topology::fromPositions(std::move(pts), ranges)},
+                   topo::RadioRanges ranges = {},
+                   topo::TopologyOptions options = {})
+      : topo{topo::Topology::fromPositions(std::move(pts), ranges, options)},
         medium{sim, topo},
         radios(static_cast<std::size_t>(topo.numNodes())) {
     for (topo::NodeId n = 0; n < topo.numNodes(); ++n) {
@@ -178,6 +180,57 @@ TEST(Medium, SimultaneousStartBothCorrupted) {
   EXPECT_EQ(f.radios[2].corrupted.size(), 1u);
 }
 
+
+// Above the dense-adjacency threshold the corruption scan switches from
+// a word-wise AND over the packed cs row to per-cs-neighbor bit probes.
+// Both paths must produce identical deliveries, corruptions, and
+// busy/idle transitions on the same frame schedule.
+TEST(Medium, SparseCorruptionScanMatchesDense) {
+  Rng rng{314};
+  std::vector<topo::Point> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniformReal(0, 1600), rng.uniformReal(0, 1600)});
+  }
+  Fixture dense{pts};
+  Fixture sparse{pts, {}, topo::TopologyOptions{0}};
+  ASSERT_TRUE(dense.topo.hasDenseAdjacency());
+  ASSERT_FALSE(sparse.topo.hasDenseAdjacency());
+
+  // A deterministic schedule dense enough to hit every interaction:
+  // overlapping same-instant starts, mid-reception hidden-terminal
+  // starts, and staggered finishes.
+  for (int round = 0; round < 30; ++round) {
+    const auto start = static_cast<std::int64_t>(round) * 70;
+    for (Fixture* f : {&dense, &sparse}) {
+      f->sim.runUntil(TimePoint::origin() + Duration::micros(start));
+      for (int k = 0; k < 4; ++k) {
+        const auto from =
+            static_cast<topo::NodeId>((round * 7 + k * 11) % 40);
+        const auto to = static_cast<topo::NodeId>((round * 5 + k * 13) % 40);
+        if (from == to || f->medium.isTransmitting(from)) continue;
+        if (!f->topo.areNeighbors(from, to)) continue;
+        f->medium.startTransmission(makeFrame(from, to, 100 + 10 * k));
+      }
+    }
+  }
+  dense.sim.run();
+  sparse.sim.run();
+
+  EXPECT_EQ(dense.medium.framesDelivered(), sparse.medium.framesDelivered());
+  EXPECT_EQ(dense.medium.framesCorrupted(), sparse.medium.framesCorrupted());
+  for (int n = 0; n < 40; ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    EXPECT_EQ(dense.radios[i].received.size(), sparse.radios[i].received.size())
+        << "node " << n;
+    EXPECT_EQ(dense.radios[i].corrupted.size(),
+              sparse.radios[i].corrupted.size())
+        << "node " << n;
+    EXPECT_EQ(dense.radios[i].busyTransitions, sparse.radios[i].busyTransitions)
+        << "node " << n;
+    EXPECT_EQ(dense.radios[i].idleTransitions, sparse.radios[i].idleTransitions)
+        << "node " << n;
+  }
+}
 
 TEST(FrameTrace, RecordsAllEventKindsAndLinkStats) {
   Fixture f{{{0, 0}, {200, 0}, {400, 0}}};

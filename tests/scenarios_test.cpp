@@ -126,6 +126,51 @@ TEST_P(RandomMeshTest, FlowsAreRoutableAndDistinct) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMeshTest, ::testing::Range(1, 11));
 
+// Fixed-seed meshes are part of the repo's reproducibility contract:
+// these flow lists were captured before the sampling-loop rework
+// (tree caching + distinct-pair guard) and must never drift.
+TEST(RandomMesh, FixedSeedFlowListsAreStable) {
+  using Pair = std::pair<topo::NodeId, topo::NodeId>;
+  const auto pairsOf = [](const Scenario& sc) {
+    std::vector<Pair> out;
+    for (const auto& f : sc.flows) out.push_back({f.src, f.dst});
+    return out;
+  };
+  EXPECT_EQ(pairsOf(randomMesh(3, 12, meshSideForDegree(12, 5.0), 5)),
+            (std::vector<Pair>{{9, 3}, {0, 7}, {7, 10}, {11, 7}, {9, 11}}));
+  EXPECT_EQ(pairsOf(randomMesh(99, 50, meshSideForDegree(50, 5.0), 2)),
+            (std::vector<Pair>{{27, 6}, {32, 49}}));
+  EXPECT_EQ(pairsOf(denseMesh(7, 50, 2)),
+            (std::vector<Pair>{{2, 0}, {41, 29}}));
+  EXPECT_EQ(pairsOf(denseMesh(5, 60, 8)),
+            (std::vector<Pair>{{26, 5}, {28, 19}, {52, 23}, {8, 2},
+                               {32, 47}, {18, 56}, {11, 4}, {23, 29}}));
+}
+
+TEST(RandomMesh, CanExhaustAllOrderedPairsOfASmallMesh) {
+  // 6 nodes have only 30 ordered pairs; asking for all 30 forces the
+  // sampler deep into the long tail where almost every draw is a
+  // duplicate. Under the old guard (every draw burned budget) this
+  // took ~n^2 draws per remaining pair and spuriously exhausted the
+  // 1000-iteration cap; counting only distinct candidates makes it
+  // deterministic. Sampled with a connected layout (300 m square,
+  // 250 m tx range keeps everything reachable).
+  const auto sc = randomMesh(11, 6, 300.0, 12);
+  ASSERT_EQ(sc.flows.size(), 12u);
+  std::set<std::pair<topo::NodeId, topo::NodeId>> pairs;
+  for (const auto& f : sc.flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_TRUE(pairs.insert({f.src, f.dst}).second);
+  }
+}
+
+TEST(RandomMesh, ThrowsWhenMoreFlowsThanDistinctPairsExist) {
+  // 2 nodes admit 2 ordered pairs; 5 flows can never be satisfied. The
+  // distinct-pair guard caps the budget at n(n-1) so this fails fast
+  // instead of spinning through the full 1000-draw budget per attempt.
+  EXPECT_THROW(randomMesh(1, 2, 100.0, 5), InvariantViolation);
+}
+
 TEST(DenseMesh, ConstantDensityHitsTargetDegree) {
   // meshSideForDegree sizes the square for an average tx degree of ~12
   // regardless of node count; sampled meshes should land near it.

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <span>
 
 #include "topology/cliques.hpp"
 #include "topology/conflict_graph.hpp"
 #include "topology/dominating_set.hpp"
 #include "topology/routing.hpp"
+#include "topology/spatial_grid.hpp"
 #include "topology/topology.hpp"
 #include "util/rng.hpp"
 
@@ -21,13 +24,17 @@ Topology chain(int n, double spacing, RadioRanges ranges = {}) {
   return Topology::fromPositions(std::move(pts), ranges);
 }
 
+std::vector<NodeId> toVec(std::span<const NodeId> row) {
+  return {row.begin(), row.end()};
+}
+
 TEST(Topology, NeighborRelationIsSymmetricAndRangeBased) {
   const Topology t = chain(4, 200.0);
   EXPECT_TRUE(t.areNeighbors(0, 1));
   EXPECT_TRUE(t.areNeighbors(1, 0));
   EXPECT_FALSE(t.areNeighbors(0, 2));  // 400 m > 250 m
   EXPECT_FALSE(t.areNeighbors(2, 2));
-  EXPECT_EQ(t.neighbors(1), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(toVec(t.neighbors(1)), (std::vector<NodeId>{0, 2}));
 }
 
 TEST(Topology, CarrierSenseRangeExceedsTxRange) {
@@ -381,20 +388,155 @@ TEST(AdjacencyMatrix, RowIterationAscendingAndDegreeConsistent) {
   for (NodeId a = 0; a < t.numNodes(); ++a) {
     std::vector<NodeId> fromBits;
     tx.forEachInRow(a, [&fromBits](NodeId b) { fromBits.push_back(b); });
-    EXPECT_EQ(fromBits, t.neighbors(a));  // ascending by construction
+    EXPECT_EQ(fromBits, toVec(t.neighbors(a)));  // ascending by construction
     EXPECT_EQ(tx.rowDegree(a), static_cast<int>(t.neighbors(a).size()));
   }
 }
 
-// twoHopNeighborhood is memoized at construction: repeated calls return
-// the same object (no recompute, no allocation) with the original
-// ascending contents.
+// twoHopNeighborhood is memoized (lazily, on first touch): repeated calls
+// return the same object (no recompute, no allocation) with ascending
+// contents.
 TEST(Topology, TwoHopNeighborhoodIsMemoized) {
   const Topology t = chain(6, 200.0);
   const std::vector<NodeId>& first = t.twoHopNeighborhood(2);
   const std::vector<NodeId>& second = t.twoHopNeighborhood(2);
   EXPECT_EQ(&first, &second);
   EXPECT_EQ(first, (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+// --- spatial grid ------------------------------------------------------------
+
+// The grid-bucketed construction must reproduce the brute-force O(n^2)
+// predicate exactly: same membership (including dSq <= rangeSq boundary
+// ties at exactly txRange/csRange) and same ascending row order. Each
+// random layout is salted with hostile geometry: co-located nodes, a
+// pair at exactly txRange, a pair at exactly csRange, and nodes pinned
+// to cell-boundary coordinates (multiples of csRange).
+class SpatialGridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpatialGridPropertyTest, MatchesBruteForceRelations) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 13};
+  const RadioRanges ranges{};
+  for (int mesh = 0; mesh < 8; ++mesh) {
+    const int base = static_cast<int>(rng.uniformInt(2, 60));
+    std::vector<Point> pts;
+    for (int i = 0; i < base; ++i) {
+      pts.push_back({rng.uniformReal(0, 2500), rng.uniformReal(0, 2500)});
+    }
+    // Hostile geometry. Integer coordinates make the boundary distances
+    // exact in double arithmetic, so these pairs sit precisely on the
+    // dSq <= rangeSq tie.
+    pts.push_back(pts[0]);                                  // co-located
+    pts.push_back({pts[1].x + ranges.txRange, pts[1].y});   // exactly tx
+    pts.push_back({pts[2].x, pts[2].y + ranges.csRange});   // exactly cs
+    pts.push_back({ranges.csRange, ranges.csRange});        // cell corner
+    pts.push_back({2 * ranges.csRange, 0.0});               // cell edge
+    const int n = static_cast<int>(pts.size());
+
+    const Topology t = Topology::fromPositions(pts, ranges);
+    const double txSq = ranges.txRange * ranges.txRange;
+    const double csSq = ranges.csRange * ranges.csRange;
+    for (NodeId a = 0; a < n; ++a) {
+      std::vector<NodeId> bruteTx;
+      std::vector<NodeId> bruteCs;
+      for (NodeId b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const double dSq = distanceSquared(pts[static_cast<std::size_t>(a)],
+                                           pts[static_cast<std::size_t>(b)]);
+        if (dSq <= txSq) bruteTx.push_back(b);
+        if (dSq <= csSq) bruteCs.push_back(b);
+      }
+      ASSERT_EQ(toVec(t.neighbors(a)), bruteTx) << "tx row of " << a;
+      ASSERT_EQ(toVec(t.csNeighbors(a)), bruteCs) << "cs row of " << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialGridPropertyTest,
+                         ::testing::Range(1, 13));
+
+TEST(SpatialGrid, CandidateBlockCoversQueryRadius) {
+  // Every node within cellSide of a query point must be visited by
+  // forEachCandidate (the 3x3 block invariant the construction relies
+  // on), including nodes in far-apart cells that must not be visited.
+  Rng rng{71};
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniformReal(0, 5000), rng.uniformReal(0, 5000)});
+  }
+  const double side = 550.0;
+  const SpatialGrid grid{pts, side};
+  for (int q = 0; q < 200; ++q) {
+    const Point p = pts[static_cast<std::size_t>(q)];
+    std::set<NodeId> visited;
+    grid.forEachCandidate(p.x, p.y, [&](NodeId b) { visited.insert(b); });
+    for (NodeId b = 0; b < 200; ++b) {
+      if (distanceSquared(p, pts[static_cast<std::size_t>(b)]) <=
+          side * side) {
+        EXPECT_TRUE(visited.contains(b))
+            << "node " << b << " within cellSide of " << q << " not visited";
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, CoarsensCellsWhenPositionsAreSpreadOut) {
+  // Two nodes a million meters apart with a 550 m cell side would naively
+  // need ~3.3M cells; the grid coarsens until the cell table is O(n).
+  const SpatialGrid grid{{{0.0, 0.0}, {1e6, 1e6}}, 550.0};
+  EXPECT_LE(static_cast<long long>(grid.cellsX()) * grid.cellsY(), 9);
+}
+
+// --- sparse (CSR-only) mode --------------------------------------------------
+
+// Above the dense threshold no n^2-bit matrices exist; predicates fall
+// back to binary searches of the CSR rows and must agree bit-for-bit
+// with the dense build of the same layout.
+TEST(Topology, SparseModeMatchesDenseRelations) {
+  Rng rng{2025};
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniformReal(0, 1500), rng.uniformReal(0, 1500)});
+  }
+  const Topology dense = Topology::fromPositions(pts);
+  const Topology sparse =
+      Topology::fromPositions(pts, RadioRanges{}, TopologyOptions{0});
+  ASSERT_TRUE(dense.hasDenseAdjacency());
+  ASSERT_FALSE(sparse.hasDenseAdjacency());
+  EXPECT_THROW(static_cast<void>(sparse.txAdjacency()), InvariantViolation);
+  EXPECT_THROW(static_cast<void>(sparse.csAdjacency()), InvariantViolation);
+  for (NodeId a = 0; a < dense.numNodes(); ++a) {
+    EXPECT_EQ(toVec(dense.neighbors(a)), toVec(sparse.neighbors(a)));
+    EXPECT_EQ(toVec(dense.csNeighbors(a)), toVec(sparse.csNeighbors(a)));
+    EXPECT_EQ(dense.twoHopNeighborhood(a), sparse.twoHopNeighborhood(a));
+    for (NodeId b = 0; b < dense.numNodes(); ++b) {
+      ASSERT_EQ(dense.areNeighbors(a, b), sparse.areNeighbors(a, b));
+      ASSERT_EQ(dense.inCsRange(a, b), sparse.inCsRange(a, b));
+    }
+  }
+}
+
+TEST(Topology, SparseModeMemoryIsEdgeBound) {
+  // The footprint must track nodes + edges, not n^2 bits: at N = 3000
+  // (above the default threshold) two dense relations alone would cost
+  // 2 * 3000^2 / 8 = 2.25 MB; the CSR build must stay well under that.
+  Rng rng{4242};
+  std::vector<Point> pts;
+  const int n = 3000;
+  // Area sized for ~12 tx-degree (the denseMesh recipe): degree =
+  // n * pi * txRange^2 / side^2.
+  const double txRange = RadioRanges{}.txRange;
+  const double side =
+      std::sqrt(n * 3.14159265358979 * txRange * txRange / 12.0);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniformReal(0, side), rng.uniformReal(0, side)});
+  }
+  const Topology t = Topology::fromPositions(std::move(pts));
+  ASSERT_FALSE(t.hasDenseAdjacency());
+  const std::size_t denseBits = 2ull * n * ((n + 63) / 64) * 8;
+  EXPECT_LT(t.memoryFootprintBytes(), denseBits);
+  // And the CSR arrays really hold both relations.
+  EXPECT_GT(t.numEdges(), 0);
 }
 
 }  // namespace

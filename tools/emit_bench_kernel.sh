@@ -5,6 +5,7 @@
 #
 #   tools/emit_bench_kernel.sh [build-dir] [output.json]
 #   tools/emit_bench_kernel.sh --medium [build-dir] [out.json]
+#   tools/emit_bench_kernel.sh --topo [build-dir] [out.json]
 #   tools/emit_bench_kernel.sh --obs-compare [off-build] [obs-build] [out.json]
 #
 # Defaults: build/ and BENCH_kernel.json at the repo root. The JSON is
@@ -16,6 +17,14 @@
 # plus the dense macro scenario) and writes BENCH_medium.json — the
 # Medium performance trajectory artifact. Run after any change to
 # src/phys/ or src/topology/ and commit the refreshed JSON alongside it.
+#
+# --topo runs the large-N topology-construction sweep
+# (BM_TopologyConstruct at N in {800, 5000, 20000, 100000}) and writes
+# BENCH_topology.json — construction wall time plus the `bytes`
+# (memoryFootprintBytes) and `edges` counters per N, proving memory
+# stays O(nodes + edges) above the dense-adjacency threshold. Run after
+# any change to src/topology/ construction and commit the refreshed
+# JSON alongside it.
 #
 # --obs-compare runs the same filter against two builds — observability
 # compiled out (default preset) and compiled in but runtime-disabled
@@ -42,7 +51,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FILTER='BM_Event(QueueScheduleRun|QueueSteadyState|QueueSameInstantBursts|Cancellation)'
-MEDIUM_FILTER='BM_Medium(StartFinish|DenseBurst|DenseMacro)'
+MEDIUM_FILTER='BM_Medium(StartFinish|DenseBurst|DenseMacro|SparseStartFinish)'
+TOPO_FILTER='BM_TopologyConstruct'
 
 run_bench() { # build-dir bench-binary filter out.json
   if [[ ! -x "$1/bench/$2" ]]; then
@@ -63,6 +73,14 @@ if [[ "${1:-}" == "--medium" ]]; then
   BUILD_DIR="${2:-build}"
   OUT="${3:-BENCH_medium.json}"
   run_bench "$BUILD_DIR" bench_medium "$MEDIUM_FILTER" "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--topo" ]]; then
+  BUILD_DIR="${2:-build}"
+  OUT="${3:-BENCH_topology.json}"
+  run_bench "$BUILD_DIR" bench_medium "$TOPO_FILTER" "$OUT"
   echo "wrote $OUT"
   exit 0
 fi

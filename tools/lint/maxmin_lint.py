@@ -49,6 +49,14 @@ DESIGN.md §10):
                    read the packed AdjacencyMatrix rows / CSR neighbor
                    lists built at construction (DESIGN.md §12);
                    construction-time sites opt out with an allow pragma.
+  nul-byte-in-source
+                   Tracked sources must be plain text. A stray NUL (or
+                   other C0 control byte beyond tab/newline/CR) makes
+                   grep/ripgrep classify the file as binary and silently
+                   drop it from every text search and text-mode tool —
+                   src/analysis/trace_replay.cpp once hid a literal NUL
+                   inside a comment and vanished from grep for three
+                   PRs. Spell control bytes escaped (e.g. \\u0000).
 
 Suppressions:
   // maxmin-lint: allow(<rule>) <reason>        one line
@@ -181,6 +189,14 @@ RULES = [
         lambda rel: rel.startswith("src/"),
     ),
     Rule(
+        "nul-byte-in-source",
+        "NUL/control byte in source; grep classifies the file as binary "
+        "and text tooling silently skips it — use an escaped spelling "
+        "(\\u0000) instead",
+        [],  # byte-level rule, see check_control_bytes()
+        lambda rel: True,
+    ),
+    Rule(
         "per-frame-distance",
         "geometry query in the frame pipeline; per-frame membership is a "
         "packed AdjacencyMatrix bit test / CSR list walk built at "
@@ -203,6 +219,12 @@ NODISCARD_DECL = re.compile(
 )
 
 PRAGMA = re.compile(r"maxmin-lint:\s*(allow|allow-file)\(([a-z0-9-]+)\)")
+
+# C0 control bytes that flip grep's binary heuristic, minus the text
+# whitespace bytes (tab, newline, carriage return), plus DEL. Checked
+# against the *raw* line — a control byte inside a comment or string
+# literal hides the file from text tooling just the same.
+CONTROL_BYTES = re.compile(r"[\x00-\x08\x0b\x0c\x0e-\x1f\x7f]")
 
 
 class Finding:
@@ -318,6 +340,16 @@ def check_nodiscard(rel, stripped_lines, findings, allowed):
             prev = line
 
 
+def check_control_bytes(rel, raw_lines, findings, allowed):
+    message = next(
+        r.message for r in RULES if r.rule_id == "nul-byte-in-source")
+    for lineno, line in enumerate(raw_lines, 1):
+        if CONTROL_BYTES.search(line):
+            if not allowed(lineno, "nul-byte-in-source"):
+                findings.append(
+                    Finding(rel, lineno, "nul-byte-in-source", message))
+
+
 def lint_file(path, rel):
     try:
         raw = path.read_text(encoding="utf-8", errors="replace")
@@ -341,6 +373,9 @@ def lint_file(path, rel):
             continue
         if rule.rule_id == "nodiscard-handle":
             check_nodiscard(rel, stripped_lines, findings, allowed)
+            continue
+        if rule.rule_id == "nul-byte-in-source":
+            check_control_bytes(rel, raw_lines, findings, allowed)
             continue
         for lineno, line in enumerate(stripped_lines, 1):
             for pat in rule.patterns:
