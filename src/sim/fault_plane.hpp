@@ -20,13 +20,14 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <set>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -166,7 +167,11 @@ class FaultPlane {
 
   std::vector<bool> up_;
   std::vector<Duration> skew_;
-  std::set<std::pair<std::int32_t, std::int32_t>> cutLinks_;
+  // Hashed: membership-only (insert/erase/contains, never iterated), so
+  // the probe is O(1) on the per-frame linkUp path and no iteration order
+  // can leak into results.
+  std::unordered_set<std::pair<std::int32_t, std::int32_t>, IdPairHash>
+      cutLinks_;
 
   std::int64_t crashesInjected_ = 0;
   std::int64_t recoveriesInjected_ = 0;

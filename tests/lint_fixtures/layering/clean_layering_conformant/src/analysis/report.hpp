@@ -1,0 +1,3 @@
+#pragma once
+#include "net/mid.hpp"
+inline int reportValue() { return midValue() * 2; }

@@ -1,0 +1,5 @@
+// Top-rank peers (exp -> analysis) are legal as long as the file graph
+// stays acyclic.
+#include "analysis/report.hpp"
+#include "net/mid.hpp"
+int main() { return reportValue() + midValue(); }

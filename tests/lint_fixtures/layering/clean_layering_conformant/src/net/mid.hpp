@@ -1,0 +1,7 @@
+// Downward include (net -> util) plus an intra-module sibling: the
+// legal shapes. Commented-out includes must not add edges:
+// #include "gmp/controller.hpp"
+#pragma once
+#include "net/mid_detail.hpp"
+#include "util/base.hpp"
+inline int midValue() { return baseValue() + midDetail(); }

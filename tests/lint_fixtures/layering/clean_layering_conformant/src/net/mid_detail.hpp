@@ -1,0 +1,2 @@
+#pragma once
+inline int midDetail() { return 1; }

@@ -1,0 +1,2 @@
+#pragma once
+inline int baseValue() { return 0; }

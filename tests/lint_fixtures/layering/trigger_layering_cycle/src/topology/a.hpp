@@ -1,0 +1,5 @@
+// Synthetic cycle member: a -> b (same module, so only the cycle check
+// can catch it — rank comparison is silent intra-module).
+#pragma once
+#include "topology/b.hpp"
+inline int aValue() { return bValue() + 1; }

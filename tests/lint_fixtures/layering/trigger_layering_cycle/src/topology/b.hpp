@@ -1,0 +1,4 @@
+// Synthetic cycle member: b -> a closes the loop.
+#pragma once
+#include "topology/a.hpp"
+inline int bValue() { return aValue() - 1; }

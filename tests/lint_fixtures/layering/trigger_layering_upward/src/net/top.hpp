@@ -1,0 +1,2 @@
+#pragma once
+inline int netValue() { return 6; }

@@ -1,0 +1,5 @@
+// Synthetic upward include: util (rank 0) reaching into net (rank 6) is
+// the dependency inversion the layering rule exists to refuse.
+#pragma once
+#include "net/top.hpp"
+inline int utilValue() { return netValue(); }

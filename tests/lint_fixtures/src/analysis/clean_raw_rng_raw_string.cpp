@@ -1,0 +1,17 @@
+// Fixture: raw string literals are literals. The old regex stripper
+// ended the "string" at the first embedded quote and then read the rest
+// of the literal as code — a documentation snippet mentioning a banned
+// primitive inside R"(...)" produced a phantom finding. The shared
+// scanner must blank raw-string contents up to the matching delimiter.
+#include <string>
+
+namespace maxmin::analysis {
+
+inline std::string lintDocs() {
+  // Embedded quote *and* banned spellings, all inert:
+  std::string doc = R"(never write "std::mt19937 gen;" or rand() here)";
+  std::string custom = R"gen(std::random_device also stays text)gen";
+  return doc + custom;
+}
+
+}  // namespace maxmin::analysis

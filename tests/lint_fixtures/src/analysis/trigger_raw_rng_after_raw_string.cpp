@@ -1,0 +1,15 @@
+// Fixture: the scanner must resync exactly at the end of a raw string —
+// a real violation *after* one (embedded quotes and all) still fires.
+// Pins the failure mode where a desynced stripper blanks trailing code.
+#include <random>
+#include <string>
+
+namespace maxmin::analysis {
+
+inline int drawBadly() {
+  std::string decoy = R"(contains " a quote and rand() text)";
+  std::mt19937 gen{42};  // real violation, must be seen as code
+  return static_cast<int>(gen() + decoy.size());
+}
+
+}  // namespace maxmin::analysis

@@ -1,0 +1,12 @@
+// Fixture: a line comment ending in a backslash splices onto the next
+// physical line — phase-2 splicing runs before comment recognition, so
+// the continuation is still comment. The old stripper treated it as
+// code and produced phantom findings. Both lines below are comment: \
+std::mt19937 stillInsideTheComment; system_clock too;
+#include <cstdint>
+
+namespace maxmin::gmp {
+
+inline std::int64_t nothingRandomHere() { return 7; }
+
+}  // namespace maxmin::gmp

@@ -1,0 +1,26 @@
+// Fixture: iterating an unordered_map while writing a trace stream bakes
+// hash-order into output that must be a pure function of the seed — the
+// exact bug class the PR 3 sweep fixed by hand at report sites.
+#include <ostream>
+#include <unordered_map>
+
+namespace maxmin::net {
+
+struct WindowReport {
+  std::unordered_map<int, double> flowRate_;
+  double meanRate_ = 0.0;
+
+  void dump(std::ostream& os) const {
+    for (const auto& [flow, rate] : flowRate_) {
+      os << flow << "," << rate << "\n";
+    }
+  }
+
+  void summarize() {
+    for (const auto& [flow, rate] : flowRate_) {
+      meanRate_ += rate;  // float accumulation in hash order
+    }
+  }
+};
+
+}  // namespace maxmin::net

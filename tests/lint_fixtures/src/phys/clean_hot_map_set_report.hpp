@@ -1,0 +1,18 @@
+// Fixture: a genuine report/wire type may keep an ordered set in a hot
+// header when it opts out with a reasoned pragma — the suppression is
+// the documented escape hatch, and it must actually suppress.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+namespace maxmin::phys {
+
+struct CorruptionReport {
+  // Report-only: filled once at window close, read in key order by the
+  // CSV writer; never touched on the per-frame path.
+  // maxmin-lint: allow(hot-map) wire-format report, sorted by contract
+  std::set<std::int64_t> corruptedFrameIds;
+};
+
+}  // namespace maxmin::phys

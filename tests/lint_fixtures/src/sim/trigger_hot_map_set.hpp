@@ -1,0 +1,19 @@
+// Fixture: the hot-map rule also rejects std::set / std::multiset /
+// std::multimap in hot-path headers — same node-based pointer chase per
+// lookup as std::map, same fix (hash + sort at report time).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <map>
+#include <utility>
+
+namespace maxmin::sim {
+
+struct PendingCuts {
+  std::set<std::pair<std::int32_t, std::int32_t>> links;
+  std::multiset<std::int32_t> repeats;
+  std::multimap<std::int32_t, std::int32_t> byNode;
+};
+
+}  // namespace maxmin::sim

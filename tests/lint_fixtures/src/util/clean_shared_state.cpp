@@ -1,0 +1,31 @@
+// Fixture: the shared-state rule only bites *mutable* statics. Immutable
+// statics (constexpr/const), static member functions, and file-local
+// static functions are not shared mutable state and stay silent.
+#include <cstdint>
+#include <vector>
+
+namespace maxmin {
+namespace {
+
+static constexpr std::int64_t kWindowBits = 12;
+static const char* const kStageName = "measure";
+
+static std::vector<int> doubled(const std::vector<int>& in) {
+  std::vector<int> out;
+  out.reserve(in.size());
+  for (int v : in) out.push_back(v * 2);
+  return out;
+}
+
+}  // namespace
+
+struct Codec {
+  static std::int64_t decode(std::int64_t raw) { return raw >> kWindowBits; }
+};
+
+std::int64_t useAll(const std::vector<int>& in) {
+  return Codec::decode(static_cast<std::int64_t>(doubled(in).size())) +
+         static_cast<std::int64_t>(kStageName[0]);
+}
+
+}  // namespace maxmin

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# One-command local gauntlet: every static/dynamic check the CI runs,
+# in cheapest-first order so the fast failures land before the slow
+# builds start:
+#
+#   format      tools/check_format.sh          (clang-format, check-only)
+#   lint        tools/lint unit tests + rule fixtures + zero-findings
+#               repo sweep (python3)
+#   layering    src/ include-graph DAG + acyclicity proof and
+#               include_graph.json freshness (python3)
+#   tidy        tools/run_clang_tidy.sh        (clang-tidy profile)
+#   sanitizers  tools/run_sanitized_tests.sh all  (asan+ubsan, tsan)
+#
+#   tools/check_all.sh              # all stages
+#   tools/check_all.sh lint tidy    # just the named stages
+#
+# Every stage skips cleanly (with a notice, exit 0) when its tool is
+# missing, matching the per-script policy: the tier-1 build needs
+# nothing beyond cmake + a C++20 compiler, and CI runs each stage for
+# real. The script stops at the first failing stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STAGES=("$@")
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(format lint layering tidy sanitizers)
+
+banner() { printf '\n=== check_all: %s ===\n' "$1"; }
+
+have_python() {
+  command -v python3 >/dev/null 2>&1
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    format)
+      banner format
+      tools/check_format.sh  # self-skips when clang-format is missing
+      ;;
+    lint)
+      banner lint
+      if ! have_python; then
+        echo "check_all: python3 not found; skipping lint"
+        continue
+      fi
+      python3 -m unittest discover -s tools/lint -p 'test_*.py'
+      python3 tools/lint/maxmin_lint.py --fixtures tests/lint_fixtures
+      python3 tools/lint/maxmin_lint.py --root .
+      ;;
+    layering)
+      banner layering
+      if ! have_python; then
+        echo "check_all: python3 not found; skipping layering"
+        continue
+      fi
+      python3 tools/lint/maxmin_lint.py --layering-only --root .
+      ;;
+    tidy)
+      banner tidy
+      tools/run_clang_tidy.sh  # self-skips when clang-tidy is missing
+      ;;
+    sanitizers)
+      banner sanitizers
+      if ! command -v cmake >/dev/null 2>&1; then
+        echo "check_all: cmake not found; skipping sanitizers"
+        continue
+      fi
+      tools/run_sanitized_tests.sh all
+      ;;
+    *)
+      echo "check_all: unknown stage '$stage'" >&2
+      echo "known stages: format lint layering tidy sanitizers" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "check_all: all requested stages passed (or skipped with notice)"

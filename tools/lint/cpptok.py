@@ -1,0 +1,316 @@
+"""cpptok — the shared lightweight C++ scanner behind every lint rule.
+
+One scanner, three products, so every rule sees the same view of a file:
+
+  * ``stripped``  — the source text with comments and string/char/raw-string
+    *contents* blanked to spaces, preserving line structure exactly (finding
+    line numbers stay 1:1 with the raw file). Quote characters are kept so
+    the token pass can still see that a literal sat there. The header-name
+    of an ``#include "..."`` directive is kept verbatim — it is a
+    preprocessing token, not a string, and the layering checker reads it.
+  * ``tokens``    — a flat token stream (identifiers, numbers, literals,
+    punctuators) with line numbers, for the structural rules that need to
+    reason about declarations and loop bodies instead of line regexes.
+  * ``control_lines`` — raw lines carrying C0 control bytes (beyond
+    tab/newline/CR) or DEL. One such byte makes grep classify the whole
+    file as binary and silently drop it from text tooling, so the scanner
+    classifies the file *before* any rule runs and the driver refuses it
+    loudly instead of linting garbage.
+
+Correctness notes the old regex stripper got wrong (regression-pinned in
+``tests/lint_fixtures`` and ``test_lint_unit.py``):
+
+  * Raw string literals: ``R"delim( ... )delim"`` contents are blanked up
+    to the matching ``)delim"`` — an embedded ``"`` no longer desyncs the
+    scanner into treating literal contents as code.
+  * Line-spliced comments: a ``//`` comment ending in a backslash
+    continues onto the next physical line (phase-2 splicing happens before
+    comment recognition in real translation), so code-looking text on the
+    continuation line is still comment.
+  * Splices inside ordinary string literals likewise keep the string
+    state across the newline.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str  # id | num | str | chr | punct | header
+    text: str
+    line: int
+
+
+class ScanResult(NamedTuple):
+    stripped: str            # comment/literal-blanked text, same line structure
+    tokens: List[Token]
+    control_lines: List[int]  # 1-based raw lines holding control bytes
+
+    @property
+    def is_binary(self) -> bool:
+        return bool(self.control_lines)
+
+    def stripped_lines(self) -> List[str]:
+        return self.stripped.splitlines()
+
+
+# C0 control bytes minus tab/newline/CR, plus DEL: the set that flips
+# grep's binary heuristic. Checked against the raw text — a control byte
+# inside a comment hides the file from text tooling just the same.
+_CONTROL = re.compile(r"[\x00-\x08\x0b\x0c\x0e-\x1f\x7f]")
+
+# The *entire* preceding identifier must be a raw-string prefix: UPPER"x"
+# is macro/string concatenation, not a raw literal, despite ending in R.
+_RAW_PREFIX = re.compile(r'^(?:u8|[uUL])?R$')
+
+# Longest-match-first punctuators, then any single char as fallback.
+_TOKEN = re.compile(
+    r"""
+      (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<num>\.?\d(?:[0-9a-zA-Z_.]|[eEpP][+-])*)
+    | (?P<str>"[^"\n]*")
+    | (?P<chr>'[^'\n]*')
+    | (?P<punct><<=|>>=|\.\.\.|->\*|\#\#|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|
+       \+=|-=|\*=|/=|%=|&=|\|=|\^=|::|->|[^\sA-Za-z0-9_])
+    """,
+    re.VERBOSE,
+)
+
+
+def control_byte_lines(text: str) -> List[int]:
+    """1-based line numbers whose raw text contains binary-classifying bytes."""
+    return [
+        lineno
+        for lineno, line in enumerate(text.splitlines(), 1)
+        if _CONTROL.search(line)
+    ]
+
+
+def strip(text: str) -> str:
+    """Blank comments and literal contents, preserving line structure.
+
+    State machine over the raw characters. Backslash-newline splices are
+    honoured inside line comments and string/char literals (the cases that
+    change classification); inside code the backslash is blanked and the
+    newline kept, so line numbers never shift.
+    """
+    out: List[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_terminator = ""  # for state == raw: the )delim" that ends the literal
+    # Preprocessor context: at the start of a logical line, '#' begins a
+    # directive; after '# include' the next "..." is a header-name and is
+    # kept verbatim for the include-graph rules.
+    logical_line_start = True
+    pp_directive: List[str] = []  # identifier chars of the directive name
+    in_pp_include = False
+
+    def emit(ch: str) -> None:
+        out.append(ch)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "\\" and nxt == "\n":
+                # Splice in code: blank the backslash, keep the newline.
+                emit(" ")
+                emit("\n")
+                i += 2
+                # The logical line continues: do not reset pp context.
+                continue
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                emit("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                emit("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string? Look back at the immediately preceding
+                # identifier characters for an R prefix (R, uR, u8R, LR, UR).
+                j = len(out) - 1
+                prefix = []
+                while j >= 0 and (out[j].isalnum() or out[j] == "_"):
+                    prefix.append(out[j])
+                    j -= 1
+                joined = "".join(reversed(prefix))
+                if _RAW_PREFIX.fullmatch(joined):
+                    # R"delim( ... )delim"  — find the delimiter.
+                    k = i + 1
+                    delim = []
+                    while k < n and text[k] != "(" and text[k] not in ')\\ \n"':
+                        delim.append(text[k])
+                        k += 1
+                    if k < n and text[k] == "(":
+                        state = "raw"
+                        raw_terminator = ")" + "".join(delim) + '"'
+                        emit('"')  # stand-in opening quote
+                        # blank the delimiter and opening paren
+                        emit(" " * (k - i))
+                        i = k + 1
+                        continue
+                if in_pp_include:
+                    # Header-name: keep verbatim up to the closing quote.
+                    emit('"')
+                    i += 1
+                    while i < n and text[i] not in '"\n':
+                        emit(text[i])
+                        i += 1
+                    if i < n and text[i] == '"':
+                        emit('"')
+                        i += 1
+                    continue
+                state = "string"
+                emit('"')
+                i += 1
+                continue
+            if c == "'":
+                # Digit separators (1'000'000) are part of pp-numbers, not
+                # char literals: treat ' as a separator when sandwiched by
+                # alphanumerics right after a digit-ish token.
+                prev = out[-1] if out else ""
+                if prev.isdigit() and nxt.isalnum():
+                    emit("'")
+                    i += 1
+                    continue
+                state = "char"
+                emit("'")
+                i += 1
+                continue
+            if c == "\n":
+                emit("\n")
+                logical_line_start = True
+                pp_directive = []
+                in_pp_include = False
+                i += 1
+                continue
+            if c == "#" and logical_line_start:
+                pp_directive = ["#"]
+                emit("#")
+                i += 1
+                continue
+            if pp_directive is not None and pp_directive:
+                # Collect the directive name; spaces allowed after '#'.
+                if c.isspace():
+                    if len(pp_directive) > 1:
+                        name = "".join(pp_directive[1:])
+                        in_pp_include = name == "include"
+                        pp_directive = []
+                    emit(c)
+                    i += 1
+                    continue
+                if c.isalpha():
+                    pp_directive.append(c)
+                    emit(c)
+                    i += 1
+                    if i < n and not text[i].isalpha():
+                        name = "".join(pp_directive[1:])
+                        in_pp_include = name == "include"
+                        pp_directive = []
+                    continue
+                pp_directive = []
+            if not c.isspace():
+                logical_line_start = False
+            emit(c)
+            i += 1
+            continue
+        if state == "line_comment":
+            if c == "\\" and nxt == "\n":
+                # Spliced comment: the next physical line is still comment.
+                emit(" ")
+                emit("\n")
+                i += 2
+                continue
+            if c == "\n":
+                state = "code"
+                emit("\n")
+                logical_line_start = True
+                pp_directive = []
+                in_pp_include = False
+            else:
+                emit(" ")
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                emit("  ")
+                i += 2
+                continue
+            emit("\n" if c == "\n" else " ")
+            i += 1
+            continue
+        if state == "raw":
+            if c == raw_terminator[0] and text.startswith(raw_terminator, i):
+                emit('"')
+                emit(" " * (len(raw_terminator) - 1))
+                i += len(raw_terminator)
+                state = "code"
+                continue
+            emit("\n" if c == "\n" else " ")
+            i += 1
+            continue
+        # state in (string, char)
+        quote = '"' if state == "string" else "'"
+        if c == "\\" and nxt == "\n":
+            emit(" ")
+            emit("\n")
+            i += 2
+            continue
+        if c == "\\":
+            emit("  ")
+            i += 2
+            continue
+        if c == quote:
+            state = "code"
+            emit(quote)
+            i += 1
+            continue
+        if c == "\n":
+            # Unterminated literal on this line: fail open back to code so
+            # one typo does not blank the rest of the file.
+            state = "code"
+            emit("\n")
+            logical_line_start = True
+            in_pp_include = False
+            i += 1
+            continue
+        emit(" ")
+        i += 1
+    return "".join(out)
+
+
+_INCLUDE_LINE = re.compile(r"^\s*#\s*include\s*(?:(<[^>\n]*>)|(\"[^\"\n]*\"))")
+
+
+def _tokenize(stripped: str) -> List[Token]:
+    tokens: List[Token] = []
+    for line, raw_line in enumerate(stripped.split("\n"), 1):
+        inc = _INCLUDE_LINE.match(raw_line)
+        if inc:
+            # The header-name after #include is one token, not a chain of
+            # '<' punctuators (or a string literal). strip() preserved the
+            # quoted form's contents for exactly this.
+            tokens.append(Token("punct", "#", line))
+            tokens.append(Token("id", "include", line))
+            tokens.append(Token("header", inc.group(1) or inc.group(2), line))
+            continue
+        for m in _TOKEN.finditer(raw_line):
+            tokens.append(Token(m.lastgroup or "punct", m.group(), line))
+    return tokens
+
+
+def scan(text: str) -> ScanResult:
+    """Scan a source file. If control bytes classify it binary, the token
+    stream and stripped text are still produced from the raw text (escaped
+    replacement is the caller's problem); the driver is expected to refuse
+    the file loudly based on ``control_lines``."""
+    control = control_byte_lines(text)
+    stripped = strip(text)
+    return ScanResult(stripped, _tokenize(stripped), control)

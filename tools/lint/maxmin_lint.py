@@ -1,65 +1,34 @@
 #!/usr/bin/env python3
-"""maxmin_lint — project-specific static analysis for the maxmin repo.
+"""maxmin_lint — project static analysis for the maxmin repo.
 
 The GMP maxmin guarantee rests on determinism invariants the compiler
-cannot see. Each rule below descends from a real bug or a structural
-invariant of this codebase (the catalog with history lives in
-DESIGN.md §10):
+cannot see, and the sharded-PDES roadmap adds concurrency-readiness
+invariants TSan can only check at runtime. This package encodes both as
+mechanical rules (catalog with bug history: DESIGN.md §10):
 
-  raw-rng          All randomness flows through maxmin::Rng's named,
-                   seeded streams (src/util/rng.hpp). A raw std::mt19937,
-                   rand() or std::random_device anywhere else silently
-                   breaks run-reproducibility-from-seed.
-  wall-clock       Simulation subsystems (src/sim|net|gmp|mac|phys) live
-                   on Simulator::now(). Any wall-clock read (time(),
-                   system_clock, gettimeofday, ...) makes a run depend on
-                   the host, not the seed.
-  hot-map          Hot-path headers (src/sim|net|mac|phys) must not use
-                   std::map: node-based containers cost a pointer chase
-                   per packet/frame. Use unordered_map and sort at report
-                   time (see phys::FrameTrace::sortedLinkStats). Genuine
-                   report/wire types opt out with an allow pragma.
-  event-fn         src/sim event paths must use sim::EventFn, not
-                   std::function — std::function heap-allocates beyond
-                   two captured words and drags copies into the
-                   schedule/fire hot path.
-  nodiscard-handle Handle-returning APIs (Simulator::schedule and
-                   friends returning EventId) must be [[nodiscard]]: a
-                   dropped handle is an uncancellable event, the exact
-                   shape of the PR-1 cancelled-set leak.
-  chrono-outside-obs
-                   obs::Profiler::wallNanos() (src/obs/profile.cpp) is
-                   the project's single sanctioned wall-clock read; raw
-                   std::chrono anywhere else either duplicates it or —
-                   worse — leaks host time into results that must be a
-                   pure function of the seed. (Simulation subsystems are
-                   covered by the stricter wall-clock rule instead.)
-  raw-fork         Rng::fork() is order-sensitive: inserting one call
-                   shifts every later child's stream, silently reseeding
-                   unrelated subsystems. Only the construction-time node
-                   bring-up in src/net/network.cpp may fork; everything
-                   added later (jitter, backoff, chaos schedules) draws
-                   from a position-independent named stream —
-                   Rng{seed}.stream("name").
-  per-frame-distance
-                   The frame pipeline (src/phys|mac) must not query
-                   geometry per frame: Topology::distanceBetween() costs
-                   a sqrt and inCsRange()/areNeighbors() used to hide
-                   per-call distance math behind every frame. Hot paths
-                   read the packed AdjacencyMatrix rows / CSR neighbor
-                   lists built at construction (DESIGN.md §12);
-                   construction-time sites opt out with an allow pragma.
-  nul-byte-in-source
-                   Tracked sources must be plain text. A stray NUL (or
-                   other C0 control byte beyond tab/newline/CR) makes
-                   grep/ripgrep classify the file as binary and silently
-                   drop it from every text search and text-mode tool —
-                   src/analysis/trace_replay.cpp once hid a literal NUL
-                   inside a comment and vanished from grep for three
-                   PRs. Spell control bytes escaped (e.g. \\u0000).
+  pattern rules (rules.py, matched over token-stripped lines):
+    raw-rng            all randomness via named maxmin::Rng streams
+    wall-clock         sim subsystems live on Simulator::now()
+    hot-map            no std::map/set/multimap/multiset in hot headers
+    event-fn           src/sim uses sim::EventFn, not std::function
+    nodiscard-handle   EventId-returning APIs are [[nodiscard]]
+    chrono-outside-obs obs::Profiler::wallNanos() is the one wall clock
+    raw-fork           Rng::fork() only in the frozen bring-up order
+    per-frame-distance no geometry queries on the frame pipeline
+    nul-byte-in-source sources stay text; binary-classified files are
+                       refused loudly by every rule (cpptok front-end)
+
+  structural rules (token/graph level):
+    layering           src/ include graph conforms to the documented DAG
+                       and is acyclic (layering.py; committed dump in
+                       tools/lint/include_graph.json)
+    unordered-iter     no unordered-container iteration feeding ordered
+                       output or float accumulators (determinism.py)
+    shared-state       every mutable static/singleton is audited in
+                       tools/lint/shared_state.toml (shared_state.py)
 
 Suppressions:
-  // maxmin-lint: allow(<rule>) <reason>        one line
+  // maxmin-lint: allow(<rule>) <reason>        one line (and the next)
   // maxmin-lint: allow-file(<rule>) <reason>   whole file
 
 Usage:
@@ -67,298 +36,58 @@ Usage:
   tools/lint/maxmin_lint.py path...         lint specific files
   tools/lint/maxmin_lint.py --fixtures DIR  run the fixture expectations
   tools/lint/maxmin_lint.py --list-rules    print the rule catalog
+  tools/lint/maxmin_lint.py --json          findings as JSON (CI annotation)
+  tools/lint/maxmin_lint.py --dump-graph    rewrite include_graph.json
+  tools/lint/maxmin_lint.py --layering-only just the include-graph checks
 """
 
 from __future__ import annotations
 
 import argparse
-import re
+import json
 import sys
 from pathlib import Path
 
-# --------------------------------------------------------------------------
-# Rule table
-# --------------------------------------------------------------------------
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-SIM_SCOPE = ("src/sim/", "src/net/", "src/gmp/", "src/mac/", "src/phys/")
-HOT_SCOPE = ("src/sim/", "src/net/", "src/mac/", "src/phys/")
-HEADER_SUFFIXES = (".hpp", ".h")
-
-# Files where a rule never applies (the one place the primitive belongs).
-BAKED_ALLOW = {
-    "raw-rng": ("src/util/rng.hpp",),
-    # The definition itself, and the one sanctioned call site: per-node
-    # stack bring-up, whose fork order is frozen by the seed contract.
-    "raw-fork": ("src/util/rng.hpp", "src/net/network.cpp"),
-}
-
-
-class Rule:
-    def __init__(self, rule_id, message, patterns, in_scope):
-        self.rule_id = rule_id
-        self.message = message
-        self.patterns = [re.compile(p) for p in patterns]
-        self.in_scope = in_scope
-
-
-def _is_header(rel):
-    return rel.endswith(HEADER_SUFFIXES)
-
-
-RULES = [
-    Rule(
-        "raw-rng",
-        "raw RNG primitive; draw from a named maxmin::Rng stream "
-        "(src/util/rng.hpp) so runs stay reproducible from the seed",
-        [
-            r"\bstd::mt19937(?:_64)?\b",
-            r"\bstd::random_device\b",
-            r"\bstd::default_random_engine\b",
-            r"\bstd::minstd_rand0?\b",
-            r"(?<![\w:.>])s?rand\s*\(",
-        ],
-        lambda rel: True,
-    ),
-    Rule(
-        "wall-clock",
-        "wall-clock read inside a simulation subsystem; use "
-        "Simulator::now() so a run is a pure function of its seed",
-        [
-            r"\bgettimeofday\s*\(",
-            r"\bclock_gettime\s*\(",
-            r"\bsystem_clock\b",
-            r"\bsteady_clock\b",
-            r"\bhigh_resolution_clock\b",
-            r"(?:\bstd::|(?<![\w.:])::)time\s*\(",
-            r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)",
-            r"\blocaltime(?:_r)?\s*\(",
-            r"\bgmtime(?:_r)?\s*\(",
-        ],
-        lambda rel: rel.startswith(SIM_SCOPE),
-    ),
-    Rule(
-        "hot-map",
-        "std::map in a hot-path header; use unordered_map and sort at "
-        "report time (phys::FrameTrace::sortedLinkStats is the model)",
-        [
-            r"\bstd::(?:multi)?map\s*<",
-        ],
-        lambda rel: rel.startswith(HOT_SCOPE) and _is_header(rel),
-    ),
-    Rule(
-        "event-fn",
-        "std::function in the DES kernel; event paths use sim::EventFn "
-        "(48 B inline budget, no heap traffic on schedule/fire)",
-        [
-            r"\bstd::function\s*<",
-        ],
-        lambda rel: rel.startswith("src/sim/"),
-    ),
-    Rule(
-        "chrono-outside-obs",
-        "raw std::chrono outside src/obs/; wall time is read through "
-        "obs::Profiler::wallNanos() only (src/obs/profile.cpp)",
-        [
-            r"\bstd::chrono\b",
-            r"^\s*#\s*include\s*<chrono>",
-        ],
-        # SIM_SCOPE is excluded only because the wall-clock rule already
-        # owns those paths (one finding per sin, and fixtures require a
-        # trigger to fire exactly one rule).
-        lambda rel: (
-            rel.startswith(("src/", "tools/", "bench/", "examples/"))
-            and not rel.startswith("src/obs/")
-            and not rel.startswith(SIM_SCOPE)
-        ),
-    ),
-    Rule(
-        "nodiscard-handle",
-        "handle-returning API without [[nodiscard]]; a dropped EventId "
-        "is an uncancellable event",
-        [],  # structural rule, see check_nodiscard()
-        lambda rel: rel.startswith("src/") and _is_header(rel),
-    ),
-    Rule(
-        "raw-fork",
-        "Rng::fork() outside the frozen bring-up order; new randomness "
-        "draws from a named stream (Rng{seed}.stream(\"...\")) so "
-        "inserting a consumer cannot reseed every later fork() child",
-        [
-            r"\.\s*fork\s*\(\s*\)",
-        ],
-        lambda rel: rel.startswith("src/"),
-    ),
-    Rule(
-        "nul-byte-in-source",
-        "NUL/control byte in source; grep classifies the file as binary "
-        "and text tooling silently skips it — use an escaped spelling "
-        "(\\u0000) instead",
-        [],  # byte-level rule, see check_control_bytes()
-        lambda rel: True,
-    ),
-    Rule(
-        "per-frame-distance",
-        "geometry query in the frame pipeline; per-frame membership is a "
-        "packed AdjacencyMatrix bit test / CSR list walk built at "
-        "construction (DESIGN.md §12) — allow() construction-time sites",
-        [
-            r"\bdistanceBetween\s*\(",
-            r"\binCsRange\s*\(",
-        ],
-        lambda rel: rel.startswith(("src/phys/", "src/mac/")),
-    ),
-]
-
-RULE_IDS = {r.rule_id for r in RULES}
-
-# Declaration of a function returning an event handle. Anchored at the
-# line start (after qualifiers) so parameters of type EventId don't match.
-NODISCARD_DECL = re.compile(
-    r"^\s*(?:(?:static|constexpr|inline|virtual|friend|explicit)\s+)*"
-    r"(?:sim::)?EventId\s+\w+\s*\("
+import cpptok  # noqa: E402
+import determinism  # noqa: E402
+import layering  # noqa: E402
+import shared_state  # noqa: E402
+from rules import (  # noqa: E402
+    BAKED_ALLOW, RULES, RULE_BY_ID, Finding, check_nodiscard,
+    check_patterns, collect_pragmas, message_of,
 )
 
-PRAGMA = re.compile(r"maxmin-lint:\s*(allow|allow-file)\(([a-z0-9-]+)\)")
-
-# C0 control bytes that flip grep's binary heuristic, minus the text
-# whitespace bytes (tab, newline, carriage return), plus DEL. Checked
-# against the *raw* line — a control byte inside a comment or string
-# literal hides the file from text tooling just the same.
-CONTROL_BYTES = re.compile(r"[\x00-\x08\x0b\x0c\x0e-\x1f\x7f]")
-
-
-class Finding:
-    def __init__(self, rel, line, rule_id, message):
-        self.rel = rel
-        self.line = line
-        self.rule_id = rule_id
-        self.message = message
-
-    def __str__(self):
-        return f"{self.rel}:{self.line}: [{self.rule_id}] {self.message}"
-
-
 # --------------------------------------------------------------------------
-# Comment / string stripping (pragmas are read from the raw text first)
+# Per-file linting
 # --------------------------------------------------------------------------
 
-def strip_comments_and_strings(text):
-    """Blank out comments, string and char literals, preserving line
-    structure so finding line numbers stay exact."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            out.append(" " if c != "\n" else c)
-        i += 1
-    return "".join(out)
+
+def _paired_header_tokens(path: Path):
+    """Token streams of the .hpp/.h sibling of a .cpp/.cc (member
+    declarations live there; the unordered-iter symbol table needs them)."""
+    if path.suffix not in (".cpp", ".cc"):
+        return []
+    streams = []
+    for suffix in (".hpp", ".h"):
+        sibling = path.with_suffix(suffix)
+        if sibling.exists():
+            text = sibling.read_text(encoding="utf-8", errors="replace")
+            streams.append(cpptok.scan(text).tokens)
+    return streams
 
 
-def collect_pragmas(raw_lines):
-    """-> (file_allows: set[rule], line_allows: dict[lineno, set[rule]])."""
-    file_allows, line_allows = set(), {}
-    for lineno, line in enumerate(raw_lines, 1):
-        for kind, rule_id in PRAGMA.findall(line):
-            if rule_id not in RULE_IDS:
-                print(
-                    f"warning: unknown rule '{rule_id}' in pragma at "
-                    f"line {lineno}",
-                    file=sys.stderr,
-                )
-                continue
-            if kind == "allow-file":
-                file_allows.add(rule_id)
-            else:
-                # An allow() covers its own line and the next one, so the
-                # pragma can sit in a comment above a long declaration.
-                line_allows.setdefault(lineno, set()).add(rule_id)
-                line_allows.setdefault(lineno + 1, set()).add(rule_id)
-    return file_allows, line_allows
-
-
-# --------------------------------------------------------------------------
-# Checks
-# --------------------------------------------------------------------------
-
-def check_nodiscard(rel, stripped_lines, findings, allowed):
-    prev = ""
-    for lineno, line in enumerate(stripped_lines, 1):
-        if NODISCARD_DECL.match(line):
-            if "[[nodiscard]]" not in line and "[[nodiscard]]" not in prev:
-                if not allowed(lineno, "nodiscard-handle"):
-                    findings.append(
-                        Finding(rel, lineno, "nodiscard-handle",
-                                next(r.message for r in RULES
-                                     if r.rule_id == "nodiscard-handle"))
-                    )
-        if line.strip():
-            prev = line
-
-
-def check_control_bytes(rel, raw_lines, findings, allowed):
-    message = next(
-        r.message for r in RULES if r.rule_id == "nul-byte-in-source")
-    for lineno, line in enumerate(raw_lines, 1):
-        if CONTROL_BYTES.search(line):
-            if not allowed(lineno, "nul-byte-in-source"):
-                findings.append(
-                    Finding(rel, lineno, "nul-byte-in-source", message))
-
-
-def lint_file(path, rel):
+def lint_file(path, rel, manifest=None, statics_out=None):
     try:
         raw = path.read_text(encoding="utf-8", errors="replace")
     except OSError as e:
         print(f"warning: cannot read {rel}: {e}", file=sys.stderr)
         return []
     raw_lines = raw.splitlines()
-    file_allows, line_allows = collect_pragmas(raw_lines)
-    stripped_lines = strip_comments_and_strings(raw).splitlines()
+    file_allows, line_allows = collect_pragmas(
+        raw_lines,
+        lambda msg: print(f"warning: {rel}: {msg}", file=sys.stderr))
 
     def allowed(lineno, rule_id):
         if rule_id in file_allows:
@@ -367,22 +96,35 @@ def lint_file(path, rel):
             return True
         return rule_id in line_allows.get(lineno, set())
 
+    scanned = cpptok.scan(raw)
     findings = []
-    for rule in RULES:
-        if not rule.in_scope(rel):
-            continue
-        if rule.rule_id == "nodiscard-handle":
-            check_nodiscard(rel, stripped_lines, findings, allowed)
-            continue
-        if rule.rule_id == "nul-byte-in-source":
-            check_control_bytes(rel, raw_lines, findings, allowed)
-            continue
-        for lineno, line in enumerate(stripped_lines, 1):
-            for pat in rule.patterns:
-                if pat.search(line) and not allowed(lineno, rule.rule_id):
-                    findings.append(
-                        Finding(rel, lineno, rule.rule_id, rule.message))
-                    break
+
+    # Binary classification is a front-end property: a control byte makes
+    # grep drop the whole file from text tooling, so no other rule gets a
+    # trustworthy view. Refuse loudly instead of linting garbage.
+    if scanned.is_binary:
+        msg = message_of("nul-byte-in-source")
+        for lineno in scanned.control_lines:
+            if not allowed(lineno, "nul-byte-in-source"):
+                findings.append(
+                    Finding(rel, lineno, "nul-byte-in-source", msg))
+        if findings:
+            print(f"warning: {rel}: binary-classified (control bytes); "
+                  "all other rules refused for this file", file=sys.stderr)
+        return findings
+
+    stripped_lines = scanned.stripped_lines()
+    check_patterns(rel, stripped_lines, findings, allowed)
+    if RULE_BY_ID["nodiscard-handle"].in_scope(rel):
+        check_nodiscard(rel, stripped_lines, findings, allowed)
+    if RULE_BY_ID["unordered-iter"].in_scope(rel):
+        determinism.check_file(rel, scanned.tokens,
+                               _paired_header_tokens(path), findings, allowed)
+    if manifest is not None and RULE_BY_ID["shared-state"].in_scope(rel):
+        seen = shared_state.check_file(rel, scanned.tokens, manifest,
+                                       findings, allowed)
+        if statics_out is not None:
+            statics_out.extend(seen)
     return findings
 
 
@@ -406,26 +148,51 @@ def repo_files(root):
 def lint_tree(root, explicit=None):
     findings = []
     if explicit:
+        # Explicit file list: per-file rules only (the tree-wide layering
+        # and manifest-staleness checks need the whole repo view).
+        manifest = shared_state.load_manifest(root)
         for p in explicit:
             path = Path(p).resolve()
             rel = path.relative_to(root).as_posix()
-            findings.extend(lint_file(path, rel))
-    else:
-        for path, rel in repo_files(root):
-            findings.extend(lint_file(path, rel))
+            findings.extend(lint_file(path, rel, manifest))
+        return findings
+    manifest = shared_state.load_manifest(root)
+    statics = []
+    for path, rel in repo_files(root):
+        findings.extend(lint_file(path, rel, manifest, statics))
+    layer_findings, _ = layering.check_tree(root)
+    findings.extend(layer_findings)
+    shared_state.check_manifest(manifest, statics, findings)
     return findings
 
 
 # --------------------------------------------------------------------------
 # Fixture mode: trigger_<rule>* must fire exactly that rule, clean_* must
 # be silent. Fixtures mirror the repo layout under the fixture root so the
-# path-scoping logic is exercised too.
+# path-scoping logic is exercised too. Directories under
+# <fixtures>/layering/ hold synthetic src/ trees for the tree-wide
+# layering checks (trigger_* trees must yield layering findings, clean_*
+# trees none).
 # --------------------------------------------------------------------------
+
+RULE_IDS_SORTED = sorted((r.rule_id for r in RULES), key=len, reverse=True)
+
+
+def _expected_rule(name):
+    for r in RULE_IDS_SORTED:
+        if name.replace("-", "_").startswith(r.replace("-", "_")):
+            return r
+    return None
+
 
 def run_fixtures(fixture_root):
     failures = 0
     cases = 0
+    manifest = shared_state.load_manifest(
+        Path(__file__).resolve().parents[2])
     for path, rel in repo_files(fixture_root):
+        if rel.startswith("layering/"):
+            continue  # members of the synthetic layering trees below
         name = path.stem
         if name.startswith("trigger_"):
             expect = name[len("trigger_"):]
@@ -434,7 +201,7 @@ def run_fixtures(fixture_root):
         else:
             continue
         cases += 1
-        findings = lint_file(path, rel)
+        findings = lint_file(path, rel, manifest)
         if expect is None:
             if findings:
                 failures += 1
@@ -444,12 +211,7 @@ def run_fixtures(fixture_root):
             else:
                 print(f"PASS {rel} (clean)")
             continue
-        # trigger_<rule>_variant → rule id uses dashes
-        rule_id = None
-        for r in sorted(RULE_IDS, key=len, reverse=True):
-            if expect.replace("-", "_").startswith(r.replace("-", "_")):
-                rule_id = r
-                break
+        rule_id = _expected_rule(expect)
         if rule_id is None:
             failures += 1
             print(f"FAIL {rel}: fixture names unknown rule '{expect}'")
@@ -457,12 +219,45 @@ def run_fixtures(fixture_root):
         fired = {f.rule_id for f in findings}
         if rule_id not in fired:
             failures += 1
-            print(f"FAIL {rel}: expected [{rule_id}] to fire, got {sorted(fired) or 'nothing'}")
+            print(f"FAIL {rel}: expected [{rule_id}] to fire, "
+                  f"got {sorted(fired) or 'nothing'}")
         elif fired != {rule_id}:
             failures += 1
-            print(f"FAIL {rel}: unexpected extra rules fired: {sorted(fired - {rule_id})}")
+            print(f"FAIL {rel}: unexpected extra rules fired: "
+                  f"{sorted(fired - {rule_id})}")
         else:
             print(f"PASS {rel} ([{rule_id}] fired)")
+
+    layering_root = fixture_root / "layering"
+    if layering_root.is_dir():
+        for case in sorted(layering_root.iterdir()):
+            if not case.is_dir() or not (case / "src").is_dir():
+                continue
+            cases += 1
+            includes, known = layering.scan_includes(case / "src")
+            findings = layering.check_graph(includes, known)
+            rel = f"layering/{case.name}"
+            if case.name.startswith("clean_"):
+                if findings:
+                    failures += 1
+                    print(f"FAIL {rel}: expected clean, got:")
+                    for f in findings:
+                        print(f"  {f}")
+                else:
+                    print(f"PASS {rel} (clean)")
+            elif case.name.startswith("trigger_"):
+                bad = [f for f in findings if f.rule_id != "layering"]
+                if not findings:
+                    failures += 1
+                    print(f"FAIL {rel}: expected [layering] to fire, "
+                          "got nothing")
+                elif bad:
+                    failures += 1
+                    print(f"FAIL {rel}: non-layering findings: {bad}")
+                else:
+                    print(f"PASS {rel} ([layering] fired, "
+                          f"{len(findings)} finding(s))")
+
     if cases == 0:
         print(f"FAIL: no fixtures found under {fixture_root}")
         return 1
@@ -475,30 +270,63 @@ def run_fixtures(fixture_root):
 
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("paths", nargs="*", help="files to lint (default: repo)")
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: repo)")
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parents[2],
-                        help="repo root (default: two levels up from this script)")
+                        help="repo root (default: two levels up from this "
+                             "script)")
     parser.add_argument("--fixtures", type=Path,
                         help="run fixture expectations under this directory")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON on stdout (for CI "
+                             "annotation)")
+    parser.add_argument("--dump-graph", action="store_true",
+                        help="regenerate tools/lint/include_graph.json "
+                             "from the current src/ include graph")
+    parser.add_argument("--layering-only", action="store_true",
+                        help="run only the include-graph layering checks")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for r in RULES:
-            print(f"{r.rule_id:18} {r.message}")
+            kind = "pattern" if r.patterns else "structural"
+            print(f"{r.rule_id:20} [{kind:10}] {r.message}")
         return 0
 
     if args.fixtures:
         return run_fixtures(args.fixtures.resolve())
 
-    findings = lint_tree(args.root.resolve(), args.paths)
-    for f in findings:
-        print(f)
+    root = args.root.resolve()
+
+    if args.dump_graph:
+        src_root = root / "src"
+        includes, known = layering.scan_includes(src_root)
+        summary = layering.build_summary(includes, known)
+        dump = root / layering.GRAPH_DUMP
+        dump.write_text(layering.render_summary(summary), encoding="utf-8")
+        print(f"wrote {dump.relative_to(root).as_posix()} "
+              f"({summary['file_count']} files, "
+              f"{summary['file_edge_count']} edges)")
+        return 0
+
+    if args.layering_only:
+        findings, _ = layering.check_tree(root)
+    else:
+        findings = lint_tree(root, args.paths)
+
+    findings.sort(key=lambda f: (f.rel, f.line, f.rule_id))
+    if args.json:
+        print(json.dumps([f.as_json() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f)
     if findings:
         print(f"maxmin-lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("maxmin-lint: clean")
+    if not args.json:
+        print("maxmin-lint: clean")
     return 0
 
 
