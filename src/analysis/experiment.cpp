@@ -84,7 +84,7 @@ RunResult runScenario(const scenarios::Scenario& scenario,
   result.queueDrops = net.totalQueueDrops();
   result.crashDrops = net.totalCrashDrops();
   result.deadNeighborDrops = net.totalDeadNeighborDrops();
-  result.framesSuppressed = net.medium().framesSuppressed();
+  result.framesSuppressed = net.framesSuppressed();
   if (const phys::ChannelImpairments* imp = net.impairments()) {
     result.framesImpaired = imp->framesDropped();
   }

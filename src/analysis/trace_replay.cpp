@@ -1,11 +1,11 @@
 #include "analysis/trace_replay.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/num_text.hpp"
 
 namespace maxmin::analysis {
 namespace {
@@ -174,12 +174,13 @@ class JsonParser {
       ++pos_;
     }
     MAXMIN_CHECK_MSG(pos_ > start, "expected a number at byte " << start);
-    const std::string tok{text_.substr(start, pos_ - start)};
-    char* end = nullptr;
+    const std::string_view tok = text_.substr(start, pos_ - start);
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
-    v.number = std::strtod(tok.c_str(), &end);
-    MAXMIN_CHECK_MSG(end == tok.c_str() + tok.size(), "bad number " << tok);
+    // parseDouble (std::from_chars) keeps the parse locale-independent:
+    // strtod under a ',' decimal-separator locale would stop at the '.'
+    // and silently truncate the mantissa.
+    MAXMIN_CHECK_MSG(parseDouble(tok, v.number), "bad number " << tok);
     return v;
   }
 

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <exception>
 #include <ostream>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "obs/profile.hpp"
 #include "util/check.hpp"
+#include "util/num_text.hpp"
 
 namespace maxmin::exp {
 namespace {
@@ -109,76 +111,112 @@ SweepSummary summarize(const std::vector<SweepOutcome>& outcomes) {
 
 namespace {
 
-void jsonEscape(std::ostream& os, const std::string& s) {
-  os << '"';
+// The report is assembled into a std::string with locale-independent
+// appends (util's to_chars wrappers for doubles, std::to_string for ints)
+// instead of streaming values through operator<<: a caller-imbued or
+// globally-set locale with ',' decimal separator / digit grouping must not
+// change the bytes. Doubles keep the 6-significant-digit format the old
+// stream-based writer produced, so existing output is byte-identical.
+void jsonEscape(std::string& out, const std::string& s) {
+  out += '"';
   for (char c : s) {
     switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u001f";  // control chars never appear in our labels
+          out += "\\u001f";  // control chars never appear in our labels
         } else {
-          os << c;
+          out += c;
         }
     }
   }
-  os << '"';
+  out += '"';
 }
 
-void jsonStats(std::ostream& os, const char* name, const RunningStats& st) {
-  os << '"' << name << "\":{\"mean\":" << st.mean()
-     << ",\"stddev\":" << st.stddev() << ",\"min\":" << st.min()
-     << ",\"max\":" << st.max() << ",\"n\":" << st.count() << '}';
+void jsonNum(std::string& out, double v) { appendDouble(out, v, 6); }
+
+void jsonStats(std::string& out, const char* name, const RunningStats& st) {
+  out += '"';
+  out += name;
+  out += "\":{\"mean\":";
+  jsonNum(out, st.mean());
+  out += ",\"stddev\":";
+  jsonNum(out, st.stddev());
+  out += ",\"min\":";
+  jsonNum(out, st.min());
+  out += ",\"max\":";
+  jsonNum(out, st.max());
+  out += ",\"n\":";
+  out += std::to_string(st.count());
+  out += '}';
 }
 
 }  // namespace
 
 void writeJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes,
                const SweepSummary& summary) {
-  os << "{\"runs\":[";
+  std::string out;
+  out += "{\"runs\":[";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const SweepOutcome& o = outcomes[i];
-    if (i > 0) os << ',';
-    os << "{\"label\":";
-    jsonEscape(os, o.label);
-    os << ",\"seed\":" << o.seed << ",\"ok\":" << (o.ok ? "true" : "false");
+    if (i > 0) out += ',';
+    out += "{\"label\":";
+    jsonEscape(out, o.label);
+    out += ",\"seed\":";
+    out += std::to_string(o.seed);
+    out += ",\"ok\":";
+    out += o.ok ? "true" : "false";
     if (o.ok) {
-      os << ",\"i_mm\":" << o.result.summary.imm
-         << ",\"i_eq\":" << o.result.summary.ieq
-         << ",\"u_pkt_hops_per_s\":"
-         << o.result.summary.effectiveThroughputPps
-         << ",\"total_rate_pps\":" << o.result.summary.totalRatePps
-         << ",\"queue_drops\":" << o.result.queueDrops << ",\"flows\":[";
+      out += ",\"i_mm\":";
+      jsonNum(out, o.result.summary.imm);
+      out += ",\"i_eq\":";
+      jsonNum(out, o.result.summary.ieq);
+      out += ",\"u_pkt_hops_per_s\":";
+      jsonNum(out, o.result.summary.effectiveThroughputPps);
+      out += ",\"total_rate_pps\":";
+      jsonNum(out, o.result.summary.totalRatePps);
+      out += ",\"queue_drops\":";
+      out += std::to_string(o.result.queueDrops);
+      out += ",\"flows\":[";
       for (std::size_t f = 0; f < o.result.flows.size(); ++f) {
         const auto& flow = o.result.flows[f];
-        if (f > 0) os << ',';
-        os << "{\"name\":";
-        jsonEscape(os, flow.name);
-        os << ",\"rate_pps\":" << flow.ratePps << ",\"hops\":" << flow.hops
-           << '}';
+        if (f > 0) out += ',';
+        out += "{\"name\":";
+        jsonEscape(out, flow.name);
+        out += ",\"rate_pps\":";
+        jsonNum(out, flow.ratePps);
+        out += ",\"hops\":";
+        out += std::to_string(flow.hops);
+        out += '}';
       }
-      os << ']';
+      out += ']';
     } else {
-      os << ",\"error\":";
-      jsonEscape(os, o.error);
+      out += ",\"error\":";
+      jsonEscape(out, o.error);
     }
-    os << ",\"wall_seconds\":" << o.wallSeconds << '}';
+    out += ",\"wall_seconds\":";
+    jsonNum(out, o.wallSeconds);
+    out += '}';
   }
-  os << "],\"summary\":{\"total\":" << summary.total
-     << ",\"failed\":" << summary.failed << ',';
-  jsonStats(os, "i_mm", summary.imm);
-  os << ',';
-  jsonStats(os, "i_eq", summary.ieq);
-  os << ',';
-  jsonStats(os, "u_pkt_hops_per_s", summary.throughputPps);
-  os << ',';
-  jsonStats(os, "queue_drops", summary.queueDrops);
-  os << ',';
-  jsonStats(os, "wall_seconds", summary.wallSeconds);
-  os << "}}\n";
+  out += "],\"summary\":{\"total\":";
+  out += std::to_string(summary.total);
+  out += ",\"failed\":";
+  out += std::to_string(summary.failed);
+  out += ',';
+  jsonStats(out, "i_mm", summary.imm);
+  out += ',';
+  jsonStats(out, "i_eq", summary.ieq);
+  out += ',';
+  jsonStats(out, "u_pkt_hops_per_s", summary.throughputPps);
+  out += ',';
+  jsonStats(out, "queue_drops", summary.queueDrops);
+  out += ',';
+  jsonStats(out, "wall_seconds", summary.wallSeconds);
+  out += "}}\n";
+  os << out;
 }
 
 }  // namespace maxmin::exp

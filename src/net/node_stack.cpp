@@ -37,12 +37,13 @@ void validateFlows(const std::vector<FlowSpec>& flows, int numNodes) {
 
 NodeStack::NodeStack(NetContext& ctx, topo::NodeId self, Rng rng)
     : ctx_{ctx},
+      sim_{ctx.simulatorFor(self)},
       self_{self},
       rng_{rng},
-      holdRetryTimer_{ctx.simulator()},
-      windowStart_{ctx.simulator().now()} {}
+      holdRetryTimer_{sim_},
+      windowStart_{sim_.now()} {}
 
-TimePoint NodeStack::now() const { return ctx_.simulator().now(); }
+TimePoint NodeStack::now() const { return sim_.now(); }
 
 // ---------------------------------------------------------------------------
 // Queues
@@ -115,13 +116,14 @@ void NodeStack::enqueue(PacketPtr p) {
 // ---------------------------------------------------------------------------
 
 void NodeStack::addLocalFlow(const FlowSpec& spec) {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
   MAXMIN_CHECK_MSG(spec.src == self_, "flow source is a different node");
   MAXMIN_CHECK(!sources_.contains(spec.id));
   auto [it, inserted] = sources_.emplace(spec.id, SourceState{});
   MAXMIN_CHECK(inserted);
   SourceState& s = it->second;
   s.spec = spec;
-  s.timer = std::make_unique<sim::Timer>(ctx_.simulator());
+  s.timer = std::make_unique<sim::Timer>(sim_);
   scheduleNextGeneration(s);
 }
 
@@ -178,6 +180,7 @@ void NodeStack::generate(SourceState& s) {
 }
 
 void NodeStack::setRateLimit(FlowId flow, std::optional<double> pps) {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
   auto it = sources_.find(flow);
   MAXMIN_CHECK_MSG(it != sources_.end(), "no local flow " << flow);
   if (pps) MAXMIN_CHECK(*pps > 0.0);
@@ -194,6 +197,7 @@ std::optional<double> NodeStack::rateLimit(FlowId flow) const {
 }
 
 void NodeStack::setSourceMu(FlowId flow, double mu) {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
   auto it = sources_.find(flow);
   MAXMIN_CHECK(it != sources_.end());
   it->second.mu = mu;
@@ -224,6 +228,7 @@ std::vector<FlowId> NodeStack::localFlows() const {
 // ---------------------------------------------------------------------------
 
 void NodeStack::setOperational(bool up) {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
   if (operational_ == up) return;
   operational_ = up;
   if (!up) {
@@ -427,7 +432,7 @@ void NodeStack::onDataReceived(const phys::Frame& frame) {
   double& mu = s.flowMu[p.flow];
   mu = std::max(mu, p.normalizedRate);
   if (p.dst == self_) {
-    ctx_.recordDelivery(p);
+    ctx_.recordDelivery(p, now());
   } else {
     enqueue(frame.packet);
   }
@@ -462,6 +467,14 @@ std::vector<phys::BufferStateAd> NodeStack::currentBufferState() {
   return ads;
 }
 
+void NodeStack::setControlHandler(
+    std::function<void(const phys::Frame&)> handler) {
+  MAXMIN_CHECK_MSG(ctx_.config().shards == 0,
+                   "in-band control handlers mutate cross-node state from "
+                   "receive events and cannot run sharded");
+  controlHandler_ = std::move(handler);
+}
+
 void NodeStack::onControlReceived(const phys::Frame& frame) {
   if (controlHandler_) controlHandler_(frame);
 }
@@ -492,6 +505,7 @@ VirtualLinkSample NodeStack::toSample(const LinkAccumulator& acc) {
 }
 
 NodePeriodMeasurement NodeStack::closeMeasurementWindow() {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
   NodePeriodMeasurement m;
   m.node = self_;
   const TimePoint end = now();

@@ -3,21 +3,26 @@
 // Deterministic by construction: fields are emitted in call order, doubles
 // are printed with max_digits10 significant digits (lossless round-trip,
 // identical text for identical bits), and nothing depends on locale or
-// pointer order. Two runs that produce the same values produce the same
-// bytes — the property the fixed-seed trace tests pin down.
+// pointer order. Numbers go through util's to_chars wrappers, not the
+// stream, so a host locale with a ',' decimal separator or digit grouping
+// cannot corrupt the bytes. Two runs that produce the same values produce
+// the same bytes — the property the fixed-seed trace tests pin down.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/num_text.hpp"
+
 namespace maxmin::obs {
 
 class JsonWriter {
  public:
-  JsonWriter() { os_.precision(17); }
+  JsonWriter() = default;
 
   JsonWriter& beginObject() {
     comma();
@@ -53,12 +58,15 @@ class JsonWriter {
 
   JsonWriter& value(double v) {
     comma();
-    os_ << v;
+    char buf[64];
+    os_ << formatDouble(buf, sizeof buf, v);
     return *this;
   }
   JsonWriter& value(std::int64_t v) {
     comma();
-    os_ << v;
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    os_ << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
     return *this;
   }
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }

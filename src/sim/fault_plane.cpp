@@ -1,12 +1,13 @@
 #include "sim/fault_plane.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/num_text.hpp"
 
 namespace maxmin::sim {
 
@@ -33,13 +34,13 @@ std::ostream& operator<<(std::ostream& os, const FaultEvent& e) {
 
 namespace {
 
-/// Event/churn times in the script grammar are seconds; print enough
-/// digits that parseFaultScript's Duration::seconds() lands back on the
-/// same microsecond tick for the values we emit.
+/// Event/churn times in the script grammar are seconds; six fixed decimals
+/// name the microsecond tick exactly, and the to_chars wrapper keeps the
+/// '.' separator regardless of the host locale (snprintf "%.6f" would emit
+/// ',' under e.g. de_DE and break the replay contract).
 void appendSeconds(std::ostringstream& os, double seconds) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6f", seconds);
-  os << buf;
+  char buf[40];
+  os << formatDoubleFixed(buf, sizeof buf, seconds, 6);
 }
 
 }  // namespace
@@ -114,11 +115,19 @@ std::int32_t parseNode(const std::string& line, const std::string& tok) {
 }
 
 double parseNum(const std::string& line, const std::string& tok) {
-  try {
-    return std::stod(tok);
-  } catch (const std::exception&) {
-    parseError(line, "expected a number");
-  }
+  double v = 0.0;
+  if (!parseDouble(tok, v)) parseError(line, "expected a number");
+  return v;
+}
+
+/// Seconds-as-text → microsecond tick, rounding to nearest. Script times
+/// like "8.100000" have no exact double ("8.1" is 8.0999999999999996...),
+/// so the truncating Duration::seconds() would land one tick low and each
+/// serialize/parse cycle would drift the event earlier by a microsecond.
+/// Rounding makes every "%.6f"-printed tick a fixed point of the text
+/// round-trip — including the chaos generator's 250 ms quantum edges.
+Duration secondsRounded(double seconds) {
+  return Duration::micros(static_cast<std::int64_t>(std::llround(seconds * 1e6)));
 }
 
 void parseChurnLine(const std::string& line,
@@ -139,11 +148,9 @@ void parseChurnLine(const std::string& line,
     } else if (key == "down") {
       out.meanDownSeconds = parseNum(line, value);
     } else if (key == "from") {
-      out.start = TimePoint::origin() +
-                  Duration::seconds(parseNum(line, value));
+      out.start = TimePoint::origin() + secondsRounded(parseNum(line, value));
     } else if (key == "until") {
-      out.stop = TimePoint::origin() +
-                 Duration::seconds(parseNum(line, value));
+      out.stop = TimePoint::origin() + secondsRounded(parseNum(line, value));
     } else {
       parseError(line, "unknown churn key");
     }
@@ -169,7 +176,7 @@ FaultScript parseFaultScript(std::string_view text) {
     const std::string& verb = tokens[0];
 
     auto at = [&](const std::string& tok) {
-      return TimePoint::origin() + Duration::seconds(parseNum(line, tok));
+      return TimePoint::origin() + secondsRounded(parseNum(line, tok));
     };
 
     FaultEvent e;
@@ -194,7 +201,7 @@ FaultScript parseFaultScript(std::string_view text) {
       e.node = parseNode(line, tokens[1]);
       const double ms = parseNum(line, tokens[2]);
       if (ms < 0.0) parseError(line, "skew must be non-negative");
-      e.skew = Duration::seconds(ms * 1e-3);
+      e.skew = secondsRounded(ms * 1e-3);
       if (tokens.size() == 4) e.at = at(tokens[3]);
     } else if (verb == "churn") {
       parseChurnLine(line, tokens, script.churn);

@@ -94,9 +94,11 @@ FaultScript parseFaultScript(std::string_view text);
 
 /// Serialize a script back into the exact grammar parseFaultScript
 /// accepts, one statement per line — the replay format the chaos fuzzer
-/// emits alongside a failing seed. Round-trips exactly for event times on
-/// the microsecond grid that "%.6f" seconds can represent (the chaos
-/// generator quantizes to 250 ms ticks, which always round-trip).
+/// emits alongside a failing seed. Round-trips exactly for every event
+/// time on the microsecond grid: "%.6f" names the tick exactly and the
+/// parser rounds the decimal text to the nearest microsecond, so a value
+/// like 8.1 s (no exact double) cannot re-quantize one tick low — chaos
+/// schedules on 250 ms quantum edges included.
 std::string toScriptText(const FaultScript& script);
 
 /// Observer of fault transitions (e.g. net::Network flushing a crashed

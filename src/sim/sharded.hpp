@@ -1,0 +1,459 @@
+// Conservative parallel-DES runtime over spatially sharded lanes
+// (DESIGN.md §15).
+//
+// Each *lane* wraps one canonical-order sim::Simulator plus an
+// apply-import callback, and exchanges boundary messages with its two
+// neighbors in a chain — the shape the strip carving in topo::ShardPlan
+// guarantees (non-adjacent strips cannot interact). Synchronization is
+// Chandy–Misra–Bryant with a positive lookahead λ and null messages
+// folded into one continuously republished *bound* per lane:
+//
+//   bound(k) = min( earliest queued cut-owner key,
+//                   (min(next local key, earliest pending import).when + λ, 0),
+//                   (neighbor bound.when + λ, 0) for each neighbor )
+//
+// which lower-bounds every key lane k can ever export from now on: queued
+// cut events are tracked from birth and export at their own key; anything
+// a future local execution or import application spawns lies at least λ
+// later than the event that spawned it (λ = SIFS for the 802.11 MAC: every
+// cross-node reaction passes through a timer of at least SIFS). A lane
+// executes its earliest candidate (local event or pending import) only
+// when both neighbors' bounds lie strictly *after* the candidate's key —
+// strict, because keys are globally unique under canonical owner
+// sequencing, so the totally ordered (when, seq) keys make the classic
+// same-timestamp CMB deadlock impossible: the lane holding the globally
+// smallest key always finds both neighbor bounds beyond it.
+//
+// Bounds are enduring promises, not monotone streams: each published
+// value is valid from its publication forever (within a window), so a
+// reader acting on a stale read is merely conservative. Publication order
+// makes the promise airtight against in-flight traffic: a worker reads
+// neighbor bounds first, then drains its inboxes, then computes its own
+// bound from the drained pending set plus those bound reads — an export
+// not yet covered by the read bound is necessarily visible in the drain
+// (the exporter pushes before it republishes).
+//
+// Windows: the coordinator (Network) alternates parallel windows with
+// serial control-plane barriers. Because the barrier schedules new lane
+// events, bounds published at the end of one window are unsound at the
+// start of the next; runWindow() therefore re-initializes every lane's
+// bound serially (local terms, then one relaxation sweep each direction —
+// the fixpoint on a chain) before releasing the workers. Termination of a
+// window is detected by a double snapshot of parked flags + per-lane work
+// counters + channel emptiness, all seq_cst: any activity between the two
+// snapshots bumps a counter, and the unpark-before-pop / push-before-park
+// worker discipline makes in-flight messages visible to the snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "sim/simulator.hpp"
+#include "sim/spsc_queue.hpp"
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+// ThreadSanitizer cannot instrument standalone atomic_thread_fence (GCC
+// promotes the -Wtsan warning to an error), so sanitizer builds run the
+// seqlock below on all-seq_cst accesses instead: the single total order
+// makes the same version-stability argument go through, and sanitizer
+// builds don't care about the extra store cost.
+#if defined(__SANITIZE_THREAD__)
+#define MAXMIN_SEQLOCK_SEQCST 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MAXMIN_SEQLOCK_SEQCST 1
+#endif
+#endif
+#ifndef MAXMIN_SEQLOCK_SEQCST
+#define MAXMIN_SEQLOCK_SEQCST 0
+#endif
+
+namespace maxmin::sim {
+
+/// Ordered-after-everything sentinel ("no constraint").
+inline constexpr EventKey kInfiniteKey{TimePoint::max(), ~std::uint64_t{0}};
+
+/// One lane's published export lower bound: a (when, seq) pair written by
+/// its worker and read by both neighbors. A seqlock over relaxed atomics
+/// — a torn 128-bit read could fabricate a pair above both the old and
+/// new value, which is exactly the unsound direction, so readers retry
+/// until they see a version-stable pair. Single writer per instance.
+class PublishedBound {
+ public:
+  void store(EventKey k) {
+    const std::uint32_t v = version_.load(std::memory_order_relaxed);
+#if MAXMIN_SEQLOCK_SEQCST
+    version_.store(v + 1, std::memory_order_seq_cst);  // odd: in progress
+    whenUs_.store(k.when.asMicros(), std::memory_order_seq_cst);
+    seq_.store(k.seq, std::memory_order_seq_cst);
+    version_.store(v + 2, std::memory_order_seq_cst);
+#else
+    version_.store(v + 1, std::memory_order_relaxed);  // odd: in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    whenUs_.store(k.when.asMicros(), std::memory_order_relaxed);
+    seq_.store(k.seq, std::memory_order_relaxed);
+    version_.store(v + 2, std::memory_order_release);
+#endif
+  }
+
+  [[nodiscard]] EventKey load() const {
+    for (;;) {
+#if MAXMIN_SEQLOCK_SEQCST
+      const std::uint32_t v1 = version_.load(std::memory_order_seq_cst);
+      const std::int64_t w = whenUs_.load(std::memory_order_seq_cst);
+      const std::uint64_t s = seq_.load(std::memory_order_seq_cst);
+      if ((v1 & 1u) == 0 &&
+          version_.load(std::memory_order_seq_cst) == v1) {
+        return EventKey{TimePoint::fromMicros(w), s};
+      }
+#else
+      const std::uint32_t v1 = version_.load(std::memory_order_acquire);
+      const std::int64_t w = whenUs_.load(std::memory_order_relaxed);
+      const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if ((v1 & 1u) == 0 &&
+          version_.load(std::memory_order_relaxed) == v1) {
+        return EventKey{TimePoint::fromMicros(w), s};
+      }
+#endif
+      cpuRelax();
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> version_{0};
+  std::atomic<std::int64_t> whenUs_{TimePoint::max().asMicros()};
+  std::atomic<std::uint64_t> seq_{~std::uint64_t{0}};
+};
+
+template <typename Message>
+class ShardedRuntime {
+ public:
+  struct LaneSetup {
+    Simulator* sim = nullptr;
+    /// Apply one imported boundary message at `key` (the exporting
+    /// event's canonical position). The runtime has already entered the
+    /// foreign event's context via Simulator::beginExternalEvent.
+    // maxmin-lint: allow(event-fn) once per boundary crossing, not per event
+    std::function<void(const Message&, EventKey key)> applyImport;
+  };
+
+  ShardedRuntime(std::vector<LaneSetup> setups, Duration lookahead)
+      : lookahead_{lookahead} {
+    MAXMIN_CHECK(!setups.empty());
+    MAXMIN_CHECK(lookahead > Duration::zero());
+    lanes_.reserve(setups.size());
+    for (LaneSetup& s : setups) {
+      MAXMIN_CHECK(s.sim != nullptr && s.sim->canonicalOrder());
+      MAXMIN_CHECK(static_cast<bool>(s.applyImport));
+      auto lane = std::make_unique<Lane>();
+      lane->sim = s.sim;
+      lane->applyImport = std::move(s.applyImport);
+      lanes_.push_back(std::move(lane));
+    }
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      if (k > 0) lanes_[k]->fromLeft = std::make_unique<Channel>();
+      if (k + 1 < lanes_.size()) {
+        lanes_[k]->fromRight = std::make_unique<Channel>();
+      }
+    }
+  }
+
+  [[nodiscard]] int numLanes() const {
+    return static_cast<int>(lanes_.size());
+  }
+
+  /// Ship `msg`, occurring at `key`, from lane `fromLane` to both
+  /// adjacent lanes. Called from inside the exporting lane's event
+  /// execution (its own worker thread), which is what makes each channel
+  /// single-producer.
+  void exportFrom(int fromLane, const Message& msg, EventKey key) {
+    const auto k = static_cast<std::size_t>(fromLane);
+    if (k > 0) lanes_[k - 1]->fromRight->push(Envelope{msg, key});
+    if (k + 1 < lanes_.size()) {
+      lanes_[k + 1]->fromLeft->push(Envelope{msg, key});
+    }
+    ++lanes_[k]->exported;
+  }
+
+  /// Run every lane's events with key.when < `limit` (local and
+  /// imported), then advance all lane clocks to `limit`. On return all
+  /// channels and pending sets are empty. One lane runs inline; more
+  /// spawn one worker thread per lane for the window.
+  void runWindow(TimePoint limit) {
+    if (lanes_.size() == 1) {
+      Lane& lane = *lanes_[0];
+      EventKey key;
+      while (lane.sim->nextEventKey(key) && key.when < limit) {
+        lane.sim->step();
+        ++lane.executed;
+      }
+      lane.sim->advanceClockTo(limit);
+      return;
+    }
+    initBounds();
+    globalDone_.store(false, std::memory_order_seq_cst);
+    for (auto& lane : lanes_) {
+      lane->parked.store(false, std::memory_order_relaxed);
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(lanes_.size());
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      workers.emplace_back([this, k, limit] { workerLoop(k, limit); });
+    }
+    terminationLoop();
+    for (std::thread& w : workers) w.join();
+    for (auto& lane : lanes_) {
+      MAXMIN_CHECK(lane->pending.empty());
+      MAXMIN_CHECK(lane->fromLeft == nullptr || lane->fromLeft->empty());
+      MAXMIN_CHECK(lane->fromRight == nullptr || lane->fromRight->empty());
+      lane->sim->advanceClockTo(limit);
+    }
+  }
+
+  // --- diagnostics (read between windows / after runs only) ---------------
+  [[nodiscard]] std::uint64_t localEvents(int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)]->executed;
+  }
+  [[nodiscard]] std::uint64_t importedEvents(int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)]->imported;
+  }
+  [[nodiscard]] std::uint64_t exportedEvents(int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)]->exported;
+  }
+
+ private:
+  struct Envelope {
+    Message msg;
+    EventKey key;
+  };
+  struct EnvelopeAfter {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      return b.key < a.key;  // min-heap by key
+    }
+  };
+  using Channel = SpscQueue<Envelope>;
+
+  struct Lane {
+    Simulator* sim = nullptr;
+    // maxmin-lint: allow(event-fn) per boundary crossing, see LaneSetup
+    std::function<void(const Message&, EventKey)> applyImport;
+    std::unique_ptr<Channel> fromLeft;   ///< inbox fed by lane k-1
+    std::unique_ptr<Channel> fromRight;  ///< inbox fed by lane k+1
+    std::priority_queue<Envelope, std::vector<Envelope>, EnvelopeAfter>
+        pending;  ///< drained, not-yet-applied imports (worker-local)
+    PublishedBound bound;
+    EventKey lastPublished = kInfiniteKey;  ///< skip redundant stores
+    std::uint64_t executed = 0;  ///< local events run (worker-owned)
+    std::uint64_t imported = 0;  ///< foreign events applied
+    std::uint64_t exported = 0;  ///< boundary messages shipped
+    alignas(64) std::atomic<bool> parked{false};
+    std::atomic<std::uint64_t> work{0};  ///< bumps on every unit of work
+  };
+
+  [[nodiscard]] EventKey neighborBound(std::size_t k, int dir) const {
+    const std::size_t n = k + static_cast<std::size_t>(dir);
+    // k == 0 with dir == -1 wraps to SIZE_MAX, caught by the range test.
+    return n < lanes_.size() ? lanes_[n]->bound.load() : kInfiniteKey;
+  }
+
+  /// Recompute and publish lane k's bound from its own state plus the
+  /// given (already read) neighbor bounds. See the file comment for why
+  /// the caller must read neighbors *before* draining its inboxes.
+  void publishBound(std::size_t k, EventKey inLeft, EventKey inRight) {
+    Lane& lane = *lanes_[k];
+    EventKey b = kInfiniteKey;
+    EventKey tracked;
+    if (lane.sim->minTrackedKey(tracked) && tracked < b) b = tracked;
+    EventKey next = kInfiniteKey;
+    EventKey peek;
+    if (lane.sim->nextEventKey(peek)) next = peek;
+    if (!lane.pending.empty() && lane.pending.top().key < next) {
+      next = lane.pending.top().key;
+    }
+    if (next.when != TimePoint::max()) {
+      const EventKey spawn{next.when + lookahead_, 0};
+      if (spawn < b) b = spawn;
+    }
+    for (const EventKey& in : {inLeft, inRight}) {
+      if (in.when != TimePoint::max()) {
+        const EventKey relay{in.when + lookahead_, 0};
+        if (relay < b) b = relay;
+      }
+    }
+    if (!(b == lane.lastPublished)) {
+      lane.bound.store(b);
+      lane.lastPublished = b;
+    }
+  }
+
+  /// Serial bound (re-)initialization at window start: end-of-window
+  /// bounds are unsound once the control barrier has scheduled new lane
+  /// events beneath them. Local terms first, then one relaxation sweep
+  /// per direction reaches the chain fixpoint (further sweeps only ever
+  /// re-derive values ≥ the existing minimum).
+  void initBounds() {
+    const std::size_t n = lanes_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      publishBound(k, kInfiniteKey, kInfiniteKey);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      publishBound(k, neighborBound(k, -1), neighborBound(k, +1));
+    }
+    for (std::size_t k = n; k-- > 0;) {
+      publishBound(k, neighborBound(k, -1), neighborBound(k, +1));
+    }
+  }
+
+  /// Max events executed per bounds-read (see the burst loop below).
+  static constexpr int kBurst = 128;
+
+  void workerLoop(std::size_t k, TimePoint limit) {
+    MAXMIN_PROFILE_SCOPE("sim.shard.worker");
+    Lane& lane = *lanes_[k];
+    Simulator& sim = *lane.sim;
+    bool parked = false;  // local mirror of lane.parked
+    int spins = 0;
+    // On a single hardware thread, spinning only steals the core from
+    // whichever lane could actually make progress — hand it back at once.
+    const bool yieldWhenBlocked = std::thread::hardware_concurrency() <= 1;
+    for (;;) {
+      // Read neighbor bounds BEFORE draining (soundness: see file
+      // comment), then drain — unparking first so the termination
+      // snapshot can never observe "parked with consumed messages".
+      const EventKey inLeft = neighborBound(k, -1);
+      const EventKey inRight = neighborBound(k, +1);
+      if ((lane.fromLeft != nullptr && !lane.fromLeft->empty()) ||
+          (lane.fromRight != nullptr && !lane.fromRight->empty())) {
+        if (parked) {
+          parked = false;
+          lane.parked.store(false, std::memory_order_seq_cst);
+        }
+        lane.work.fetch_add(1, std::memory_order_seq_cst);
+        Envelope env;
+        if (lane.fromLeft != nullptr) {
+          while (lane.fromLeft->pop(env)) lane.pending.push(std::move(env));
+        }
+        if (lane.fromRight != nullptr) {
+          while (lane.fromRight->pop(env)) lane.pending.push(std::move(env));
+        }
+      }
+
+      // Earliest candidate: next local event or earliest pending import.
+      EventKey cand = kInfiniteKey;
+      bool candIsImport = false;
+      EventKey localKey;
+      if (sim.nextEventKey(localKey)) cand = localKey;
+      if (!lane.pending.empty() && lane.pending.top().key < cand) {
+        cand = lane.pending.top().key;
+        candIsImport = true;
+      }
+
+      publishBound(k, inLeft, inRight);
+
+      if (cand.when >= limit) {  // also covers "no candidate at all"
+        if (!parked) {
+          parked = true;
+          lane.parked.store(true, std::memory_order_seq_cst);
+        }
+        if (globalDone_.load(std::memory_order_seq_cst)) return;
+        if (yieldWhenBlocked) {
+          std::this_thread::yield();
+        } else {
+          cpuRelax();
+        }
+        continue;
+      }
+      if (!(inLeft > cand && inRight > cand)) {
+        // Blocked on a neighbor; the republish above keeps the bound
+        // chain relaxing while we wait.
+        if (yieldWhenBlocked || ++spins >= 256) {
+          spins = 0;
+          std::this_thread::yield();
+        }
+        continue;
+      }
+
+      if (parked) {  // unreachable without an import, but keep the
+        parked = false;  // parked flag honest around any execution
+        lane.parked.store(false, std::memory_order_seq_cst);
+      }
+      spins = 0;
+      lane.work.fetch_add(1, std::memory_order_seq_cst);
+      // Execute a burst under the bounds already read. Both are enduring
+      // promises: anything a neighbor exports while we run carries a key
+      // >= the value we read, and every burst candidate is strictly
+      // below it, so neither a re-read nor an inbox drain can change the
+      // verdict mid-burst. Capped so our own republish (which the
+      // neighbors' progress rides on) never lags far behind.
+      for (int burst = 0; burst < kBurst; ++burst) {
+        if (candIsImport) {
+          const Envelope env = lane.pending.top();
+          lane.pending.pop();
+          sim.beginExternalEvent(env.key);
+          lane.applyImport(env.msg, env.key);
+          ++lane.imported;
+        } else {
+          sim.step();
+          ++lane.executed;
+        }
+        cand = kInfiniteKey;
+        candIsImport = false;
+        if (sim.nextEventKey(localKey)) cand = localKey;
+        if (!lane.pending.empty() && lane.pending.top().key < cand) {
+          cand = lane.pending.top().key;
+          candIsImport = true;
+        }
+        if (cand.when >= limit || !(inLeft > cand && inRight > cand)) break;
+      }
+    }
+  }
+
+  /// Sum of work counters iff every lane is parked and every channel
+  /// empty; kNotQuiescent otherwise. Read order (parked, work, channels)
+  /// matters: a parked=true read synchronizes with that worker's prior
+  /// pushes, making them visible to the later channel probes.
+  static constexpr std::uint64_t kNotQuiescent = ~std::uint64_t{0};
+  [[nodiscard]] std::uint64_t snapshotIfQuiescent() const {
+    for (const auto& lane : lanes_) {
+      if (!lane->parked.load(std::memory_order_seq_cst)) return kNotQuiescent;
+    }
+    std::uint64_t sum = 0;
+    for (const auto& lane : lanes_) {
+      sum += lane->work.load(std::memory_order_seq_cst);
+    }
+    for (const auto& lane : lanes_) {
+      if (lane->fromLeft != nullptr && !lane->fromLeft->emptySeqCst()) {
+        return kNotQuiescent;
+      }
+      if (lane->fromRight != nullptr && !lane->fromRight->emptySeqCst()) {
+        return kNotQuiescent;
+      }
+    }
+    return sum;
+  }
+
+  void terminationLoop() {
+    for (;;) {
+      const std::uint64_t w1 = snapshotIfQuiescent();
+      if (w1 != kNotQuiescent && snapshotIfQuiescent() == w1) {
+        globalDone_.store(true, std::memory_order_seq_cst);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> globalDone_{false};
+};
+
+}  // namespace maxmin::sim

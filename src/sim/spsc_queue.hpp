@@ -1,0 +1,84 @@
+// Single-producer single-consumer ring for shard boundary traffic.
+//
+// Each pair of adjacent shard lanes exchanges boundary transmissions over
+// two of these (one per direction), so every queue has exactly one
+// producer thread (the exporting lane's worker) and one consumer thread
+// (the importing lane's worker). Power-of-two capacity, release/acquire
+// head/tail — the standard wait-free ring, except that push() *waits* on
+// a full ring instead of failing: the consumer drains its inboxes on
+// every iteration of its scheduling loop (even while blocked on
+// null-message bounds or parked at the window barrier), so the wait is
+// short and cannot deadlock. The coordinator's termination detector reads
+// both indices with seq_cst to pair with the workers' parked flags.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace maxmin::sim {
+
+/// One polite spin-wait step (PAUSE on x86, plain yield elsewhere).
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity = 1024)
+      : mask_{capacity - 1}, slots_(capacity) {
+    MAXMIN_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                     "SpscQueue capacity must be a power of two");
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Blocks (spinning) while the ring is full.
+  void push(T value) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    while (t - head_.load(std::memory_order_acquire) > mask_) {
+      cpuRelax();
+    }
+    slots_[static_cast<std::size_t>(t & mask_)] = std::move(value);
+    tail_.store(t + 1, std::memory_order_release);
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[static_cast<std::size_t>(h & mask_)]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side cheap emptiness probe (no element access).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Termination-detector probe: seq_cst so it totally orders with the
+  /// workers' parked-flag and work-counter stores (see ShardedRuntime).
+  [[nodiscard]] bool emptySeqCst() const {
+    return head_.load(std::memory_order_seq_cst) ==
+           tail_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace maxmin::sim

@@ -1,0 +1,100 @@
+#include "topology/shard_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace maxmin::topo {
+
+namespace {
+
+ShardPlan singleStrip(const Topology& topo) {
+  ShardPlan plan;
+  const auto n = static_cast<std::size_t>(topo.numNodes());
+  plan.numShards = 1;
+  plan.shardOf.assign(n, 0);
+  plan.cut.assign(n, 0);
+  plan.members.resize(1);
+  plan.members[0].reserve(n);
+  for (int id = 0; id < topo.numNodes(); ++id) plan.members[0].push_back(id);
+  return plan;
+}
+
+}  // namespace
+
+ShardPlan makeShardPlan(const Topology& topo, int requestedShards) {
+  const int n = topo.numNodes();
+  if (requestedShards <= 1 || n == 0) return singleStrip(topo);
+
+  // Column geometry: the same csRange-sided cells the SpatialGrid buckets
+  // by, anchored at the leftmost node.
+  const double cs = topo.ranges().csRange;
+  MAXMIN_CHECK(cs > 0.0);
+  double minX = std::numeric_limits<double>::infinity();
+  double maxX = -std::numeric_limits<double>::infinity();
+  for (int id = 0; id < n; ++id) {
+    minX = std::min(minX, topo.position(id).x);
+    maxX = std::max(maxX, topo.position(id).x);
+  }
+  const int numCols =
+      std::max(1, static_cast<int>(std::ceil((maxX - minX) / cs)));
+  const int k = std::min(requestedShards, numCols);
+  if (k <= 1) return singleStrip(topo);
+
+  const auto colOf = [&](int id) {
+    const int c = static_cast<int>((topo.position(id).x - minX) / cs);
+    return std::clamp(c, 0, numCols - 1);
+  };
+
+  // Balance node counts across strips under the whole-column constraint:
+  // walk the per-column histogram and cut after each strip reaches its
+  // population quantile, always leaving one column per remaining strip.
+  std::vector<std::int64_t> colCount(static_cast<std::size_t>(numCols), 0);
+  for (int id = 0; id < n; ++id) ++colCount[static_cast<std::size_t>(colOf(id))];
+  std::vector<std::int32_t> stripOfCol(static_cast<std::size_t>(numCols), 0);
+  {
+    std::int64_t acc = 0;
+    int strip = 0;
+    for (int c = 0; c < numCols; ++c) {
+      stripOfCol[static_cast<std::size_t>(c)] = strip;
+      acc += colCount[static_cast<std::size_t>(c)];
+      const bool quotaMet =
+          acc * k >= static_cast<std::int64_t>(n) * (strip + 1);
+      const bool mustCut = numCols - c - 1 <= k - strip - 1;
+      if (strip < k - 1 && (quotaMet || mustCut)) ++strip;
+    }
+  }
+
+  ShardPlan plan;
+  plan.numShards = k;
+  plan.shardOf.assign(static_cast<std::size_t>(n), 0);
+  plan.cut.assign(static_cast<std::size_t>(n), 0);
+  plan.members.resize(static_cast<std::size_t>(k));
+  for (int id = 0; id < n; ++id) {
+    const std::int32_t s = stripOfCol[static_cast<std::size_t>(colOf(id))];
+    plan.shardOf[static_cast<std::size_t>(id)] = s;
+    plan.members[static_cast<std::size_t>(s)].push_back(id);
+  }
+
+  // Post-carve proof obligation: strips are >= csRange wide, so no
+  // cs-edge may span more than one boundary. The exhaustive scan also
+  // flags cut nodes and counts crossing edges for the runtime.
+  for (int id = 0; id < n; ++id) {
+    const std::int32_t s = plan.shard(id);
+    for (const NodeId nb : topo.csNeighbors(id)) {
+      const std::int32_t t = plan.shard(nb);
+      MAXMIN_CHECK_MSG(std::abs(s - t) <= 1,
+                       "cs-edge " << id << "-" << nb
+                                  << " spans more than one strip boundary");
+      if (s != t) {
+        plan.cut[static_cast<std::size_t>(id)] = 1;
+        if (id < nb) ++plan.cutEdges;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace maxmin::topo

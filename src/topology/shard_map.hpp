@@ -1,0 +1,55 @@
+// Spatial shard carving for the sharded PDES runtime (DESIGN.md §15).
+//
+// A shard plan partitions the nodes into K vertical strips of whole
+// SpatialGrid columns — the grid's cells are csRange-sided, so every strip
+// is at least one carrier-sense range wide. That width is the whole
+// argument for shard independence: a node in strip i and a node in strip
+// i+2 are separated by more than one full column of x-distance, hence
+// strictly farther apart than csRange, hence can neither receive from nor
+// sense (corrupt, energy-raise) each other. All interference is local to a
+// strip or crosses exactly one boundary to the adjacent strip, which is
+// what lets each strip's event stream run on its own worker exchanging
+// boundary transmissions with its two neighbors only.
+//
+// Cut nodes — nodes with at least one cs-neighbor in another strip — are
+// the only possible exporters: a transmission by a non-cut node is
+// invisible outside its own strip by construction. The plan enumerates
+// them (and the crossing cs-edge count) from the CSR neighbor lists so the
+// runtime can track exactly the events that may need to ship.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/node_id.hpp"
+#include "topology/topology.hpp"
+
+namespace maxmin::topo {
+
+struct ShardPlan {
+  /// Actual strip count: min(requested, number of csRange columns the
+  /// topology's x-extent supports). Callers must read this back — a dense
+  /// area may not be wide enough for the requested shard count.
+  int numShards = 1;
+  std::vector<std::int32_t> shardOf;  ///< node id -> strip index
+  std::vector<std::uint8_t> cut;      ///< node has a cs-neighbor off-strip
+  std::vector<std::vector<NodeId>> members;  ///< per strip, ascending ids
+  std::int64_t cutEdges = 0;  ///< undirected cs-edges crossing a boundary
+
+  [[nodiscard]] bool isCut(NodeId id) const {
+    return cut[static_cast<std::size_t>(id)] != 0;
+  }
+  [[nodiscard]] std::int32_t shard(NodeId id) const {
+    return shardOf[static_cast<std::size_t>(id)];
+  }
+};
+
+/// Carve the topology into at most `requestedShards` strips, balancing
+/// node counts across strips under the whole-column constraint. Verifies
+/// (by exhaustive cs-edge scan) that no cs-edge spans more than one strip
+/// boundary before returning. `requestedShards <= 1` yields the trivial
+/// single-strip plan with no cut nodes.
+ShardPlan makeShardPlan(const Topology& topo, int requestedShards);
+
+}  // namespace maxmin::topo

@@ -51,6 +51,43 @@ TEST(ChaosSchedule, ScriptTextRoundTripsExactly) {
   }
 }
 
+TEST(ChaosSchedule, QuantumEdgeTimesRoundTripWithoutRequantizationDrift) {
+  // Events scripted exactly on 250 ms quantum edges, plus times whose
+  // decimal text has no exact double ("8.1" is 8.0999...96): serialize ->
+  // parse must land on the identical microsecond tick, and a second
+  // serialize must be byte-identical (the text format is a fixed point,
+  // so repeated replay cycles cannot drift an event a tick earlier).
+  const auto at = [](std::int64_t us) {
+    return TimePoint::origin() + Duration::micros(us);
+  };
+  sim::FaultScript script;
+  script.events.push_back({at(250000), sim::FaultEvent::Kind::kNodeDown, 1});
+  script.events.push_back({at(8100000), sim::FaultEvent::Kind::kNodeUp, 1});
+  script.events.push_back(
+      {at(750000), sim::FaultEvent::Kind::kLinkDown, 0, 1});
+  script.events.push_back({at(1000000), sim::FaultEvent::Kind::kClockSkew, 2,
+                           -1, Duration::micros(4100)});  // 4.1 ms skew
+
+  const std::string text = sim::toScriptText(script);
+  const auto reparsed = sim::parseFaultScript(text);
+  ASSERT_EQ(reparsed.events.size(), script.events.size());
+  for (std::size_t i = 0; i < script.events.size(); ++i) {
+    EXPECT_EQ((reparsed.events[i].at - TimePoint::origin()).asMicros(),
+              (script.events[i].at - TimePoint::origin()).asMicros())
+        << "event " << i << " re-quantized through the text format";
+    EXPECT_EQ(reparsed.events[i].skew.asMicros(),
+              script.events[i].skew.asMicros())
+        << "event " << i;
+  }
+  EXPECT_EQ(sim::toScriptText(reparsed), text) << "round-trip not a fixed point";
+
+  // Direct decimal text (the hand-written script case): "8.1" must round
+  // to 8100000 us, not truncate to 8099999.
+  const auto parsed = sim::parseFaultScript("crash 3 8.1");
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ((parsed.events[0].at - TimePoint::origin()).asMicros(), 8100000);
+}
+
 TEST(ChaosSchedule, RespectsWindowAndHealsEverything) {
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     Rng rng = Rng{seed}.stream("chaos");

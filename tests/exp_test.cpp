@@ -99,6 +99,22 @@ TEST(SweepSummary, AggregatesAcrossRuns) {
   EXPECT_TRUE(std::isfinite(summary.imm.stddev()));
 }
 
+TEST(SweepRunner, NonPositiveJobCountClampsToAtLeastOneWorker) {
+  // `--jobs 0` means "hardware concurrency", but hardware_concurrency()
+  // is allowed to return 0 on hosts that cannot determine it. The clamp
+  // must land on >= 1 real worker, never 0 (which would hang or silently
+  // run nothing), for both the 0 path and explicit negative inputs.
+  EXPECT_GE(SweepRunner{0}.jobs(), 1);
+  EXPECT_GE(SweepRunner{-4}.jobs(), 1);
+  EXPECT_EQ(SweepRunner{3}.jobs(), 3);
+
+  const auto jobs = seedGrid(scenarios::fig3(), quickConfig(), 2);
+  const auto outcomes = SweepRunner{0}.runAll(jobs);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_TRUE(outcomes[1].ok) << outcomes[1].error;
+}
+
 TEST(SweepJson, WellFormedAndInInputOrder) {
   const auto jobs = seedGrid(scenarios::fig3(), quickConfig(), 2);
   const auto outcomes = SweepRunner{2}.runAll(jobs);

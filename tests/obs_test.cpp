@@ -5,8 +5,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <locale>
 #include <sstream>
+#include <stdexcept>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "analysis/experiment.hpp"
 #include "analysis/trace_replay.hpp"
@@ -209,6 +213,64 @@ TEST_F(ObsTest, TraceReplayRecomputesFairnessTrajectory) {
     EXPECT_GT(ieq[i], 0.0);
     EXPECT_EQ(replay.periods[i].period, static_cast<int>(i));
     EXPECT_EQ(replay.periods[i].hops.size(), 3u) << "fig3 has 3 flows";
+  }
+}
+
+TEST_F(ObsTest, JsonDoublesRoundTripThroughWriterAndReplay) {
+  // Satellite regression for locale-independent number text: doubles that
+  // exercise shortest-vs-17-digit formatting, subnormals, and huge
+  // magnitudes must survive JsonWriter -> traceReplay bit-exactly, and the
+  // emitted bytes must not change when the global locale uses a ','
+  // decimal separator (to_chars/from_chars ignore locale by definition).
+  const std::vector<double> rates = {0.1, 1.0 / 3.0, 12.5,
+                                     6.02214076e23, 5e-324};
+  const auto cycle = [&rates] {
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("record").value("period");
+    w.key("period").value(0);
+    w.key("timeUs").value(std::int64_t{4000000});
+    w.key("flows").beginArray();
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      w.beginObject();
+      w.key("id").value(static_cast<int>(i));
+      w.key("hops").value(1);
+      w.key("ratePps").value(rates[i]);
+      w.endObject();
+    }
+    w.endArray().endObject();
+    const std::string text = w.str() + "\n";
+    std::istringstream in{text};
+    const auto replay = analysis::traceReplay(in);
+    return std::pair{text, replay};
+  };
+
+  const auto [text, replay] = cycle();
+  ASSERT_EQ(replay.periods.size(), 1u);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto it = replay.periods[0].ratesPps.find(static_cast<int>(i));
+    ASSERT_NE(it, replay.periods[0].ratesPps.end());
+    EXPECT_EQ(it->second, rates[i]) << "rate " << i << " not bit-exact";
+  }
+
+  // Re-run the whole cycle under a comma-decimal locale when the host has
+  // one installed; skip silently otherwise (CI images vary).
+  const std::locale saved;
+  bool haveLocale = false;
+  try {
+    std::locale::global(std::locale{"de_DE.UTF-8"});
+    haveLocale = true;
+  } catch (const std::runtime_error&) {
+  }
+  if (haveLocale) {
+    const auto [localeText, localeReplay] = cycle();
+    std::locale::global(saved);
+    EXPECT_EQ(localeText, text) << "writer bytes depend on the locale";
+    ASSERT_EQ(localeReplay.periods.size(), 1u);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      EXPECT_EQ(localeReplay.periods[0].ratesPps.at(static_cast<int>(i)),
+                rates[i]);
+    }
   }
 }
 

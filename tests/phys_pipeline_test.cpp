@@ -29,21 +29,33 @@ std::atomic<std::uint64_t> g_heapAllocs{0};
 }  // namespace
 
 // Counting global operator new: every heap allocation in this test binary
-// bumps g_heapAllocs. Deletes are forwarded to free untouched.
-void* operator new(std::size_t size) {
+// bumps g_heapAllocs. Deletes are forwarded to free untouched. noinline:
+// when sanitizer instrumentation inlines these into a call site, GCC's
+// mismatched-new-delete checker sees the raw malloc/free pair through
+// the operator boundary and reports a false positive.
+__attribute__((noinline)) void* operator new(std::size_t size) {
   g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc{};
 }
-void* operator new[](std::size_t size) {
+__attribute__((noinline)) void* operator new[](std::size_t size) {
   g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc{};
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace maxmin::phys {
 namespace {

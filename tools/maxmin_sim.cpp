@@ -28,6 +28,7 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/scenarios.hpp"
+#include "topology/shard_map.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -54,6 +55,7 @@ struct Options {
   std::string impairScope = "all";
   std::string trace;      // JSONL trace output path; empty = no tracing
   std::string traceLevel = "period";  // period|event
+  int shards = 0;         // sharded PDES worker lanes; 0 = serial loop
   bool profile = false;   // per-site wall-time histograms on stderr
   bool metrics = false;   // metrics-registry dump on stderr (needs
                           // a MAXMIN_OBSERVABILITY=ON build to be non-empty)
@@ -86,6 +88,10 @@ struct Options {
       << "  --trace FILE        write a structured JSONL trace of every GMP\n"
       << "                      period (fixed seed => byte-identical file)\n"
       << "  --trace-level  period|event        trace granularity (default period)\n"
+      << "  --shards K  run the physical layer on K parallel shard workers\n"
+      << "              (capped by topology width; any K, including 1, is\n"
+      << "              bit-identical to any other K; incompatible with\n"
+      << "              --per/--ge)\n"
       << "  --profile   print per-callback-site wall-time histograms\n"
       << "  --metrics   print the metrics registry (counters are compiled\n"
       << "              in only with -DMAXMIN_OBSERVABILITY=ON)\n"
@@ -147,6 +153,8 @@ Options parse(int argc, char** argv) {
       o.trace = value();
     } else if (arg == "--trace-level") {
       o.traceLevel = value();
+    } else if (arg == "--shards") {
+      o.shards = std::stoi(value());
     } else if (arg == "--profile") {
       o.profile = true;
     } else if (arg == "--metrics") {
@@ -400,6 +408,27 @@ int main(int argc, char** argv) {
   }
   if (!options.faults.empty()) cfg.faults = loadFaultScript(options.faults);
   cfg.netBase.impairments = makeImpairments(options);
+  if (options.shards < 0) {
+    std::cerr << "--shards must be non-negative\n";
+    return 2;
+  }
+  if (options.shards > 0 && cfg.netBase.impairments.enabled()) {
+    std::cerr << "--shards is incompatible with --per/--ge (channel "
+                 "impairments draw from one serial RNG stream)\n";
+    return 2;
+  }
+  cfg.netBase.shards = options.shards;
+  if (options.shards > 0) {
+    // Diagnostic on stderr (CSV on stdout stays clean): the carved strip
+    // count is what speedup is bounded by, not the requested K.
+    const topo::ShardPlan plan =
+        topo::makeShardPlan(scenario.topology, options.shards);
+    std::int64_t cutNodes = 0;
+    for (const auto c : plan.cut) cutNodes += c;
+    std::cerr << "shards: requested " << options.shards << ", carved "
+              << plan.numShards << " strips, " << cutNodes << " cut nodes, "
+              << plan.cutEdges << " cut cs-edges\n";
+  }
   cfg.trace = trace.get();
 
   if (options.sweep) return runSweep(scenario, cfg, options);
