@@ -3,6 +3,7 @@
 #include "baselines/configs.hpp"
 #include "baselines/two_phase.hpp"
 #include "gmp/controller.hpp"
+#include "hybrid/engine.hpp"
 #include "net/network.hpp"
 #include "util/check.hpp"
 
@@ -28,6 +29,9 @@ double RunResult::rateOf(net::FlowId id) const {
 RunResult runScenario(const scenarios::Scenario& scenario,
                       const RunConfig& config) {
   MAXMIN_CHECK(config.warmup < config.duration);
+  MAXMIN_CHECK_MSG(!config.hybrid.enabled() ||
+                       config.protocol == Protocol::kGmp,
+                   "hybrid modes drive the GMP controller; use --protocol gmp");
 
   net::NetworkConfig nc = config.netBase;
   nc.seed = config.seed;
@@ -37,14 +41,25 @@ RunResult runScenario(const scenarios::Scenario& scenario,
     case Protocol::kGmp: nc = baselines::configGmp(nc); break;
   }
 
-  net::Network net{scenario.topology, nc, scenario.flows};
+  // Under hybrid background mode only the foreground partition exists as
+  // packet flows; the rest lives in the engine's fluid model.
+  const std::vector<net::FlowSpec> packetFlows =
+      hybrid::Engine::foregroundFlows(scenario.flows, config.hybrid);
+  net::Network net{scenario.topology, nc, packetFlows};
   if (!config.faults.empty()) net.enableFaults(config.faults);
 
   std::optional<gmp::Controller> controller;
+  std::optional<hybrid::Engine> hybridEngine;
   if (config.protocol == Protocol::kGmp) {
     controller.emplace(net, config.gmpParams);
     controller->setTraceSink(config.trace);
     controller->start();
+    if (config.hybrid.enabled()) {
+      hybridEngine.emplace(net, *controller, scenario.flows, config.gmpParams,
+                           config.hybrid);
+      hybridEngine->fastForward();
+      hybridEngine->start();
+    }
   } else if (config.protocol == Protocol::kTwoPhase) {
     std::vector<std::vector<topo::NodeId>> paths;
     for (const net::FlowSpec& f : scenario.flows) {
@@ -61,20 +76,40 @@ RunResult runScenario(const scenarios::Scenario& scenario,
 
   net.run(config.warmup);
   const auto start = net.snapshotDeliveries();
+  std::optional<hybrid::Engine::BackgroundSnapshot> bgStart;
+  if (hybridEngine) bgStart = hybridEngine->snapshotBackground();
   net.run(config.duration - config.warmup);
-  const auto rates = net::Network::ratesBetween(start, net.snapshotDeliveries());
+  auto rates = net::Network::ratesBetween(start, net.snapshotDeliveries());
+  if (hybridEngine) {
+    // Fold the fluid background deliveries over the same measured window
+    // into the rate map; the summary then spans the whole scenario.
+    const auto bgRates = hybrid::Engine::ratesBetween(
+        *bgStart, hybridEngine->snapshotBackground());
+    for (const auto& [id, pps] : bgRates) rates[id] = pps;
+    hybridEngine->stop();
+  }
 
   RunResult result;
   result.protocol = config.protocol;
   std::map<net::FlowId, int> hops;
   std::map<net::FlowId, double> weights;
+  const auto bgSpecs =
+      hybrid::Engine::backgroundFlows(scenario.flows, config.hybrid);
+  const auto isBackground = [&bgSpecs](net::FlowId id) {
+    for (const net::FlowSpec& b : bgSpecs) {
+      if (b.id == id) return true;
+    }
+    return false;
+  };
   for (const net::FlowSpec& f : scenario.flows) {
     FlowOutcome out;
     out.id = f.id;
     out.name = f.name;
     out.ratePps = rates.at(f.id);
     out.weight = f.weight;
-    out.hops = net.hopCount(f.id);
+    out.background = isBackground(f.id);
+    out.hops = out.background ? hybridEngine->backgroundHops(f.id)
+                              : net.hopCount(f.id);
     result.flows.push_back(out);
     hops[f.id] = out.hops;
     weights[f.id] = f.weight;
@@ -93,6 +128,15 @@ RunResult runScenario(const scenarios::Scenario& scenario,
     result.rateHistory = controller->rateHistory();
     result.staleMeasurementsUsed = controller->staleMeasurementsUsed();
     result.limitsRestored = controller->limitsRestored();
+  }
+  if (hybridEngine) {
+    const hybrid::HybridStats& hs = hybridEngine->stats();
+    result.ffPeriods = hs.ffPeriods;
+    result.ffConverged = hs.ffConverged;
+    result.seededPackets = hs.seededPackets;
+    result.relinearizations = hs.relinearizations;
+    result.backgroundFlows = hs.backgroundFlows;
+    result.phantomBursts = hybridEngine->phantomBursts();
   }
   return result;
 }

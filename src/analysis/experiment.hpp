@@ -11,6 +11,7 @@
 #include "analysis/convergence.hpp"
 #include "analysis/metrics.hpp"
 #include "gmp/types.hpp"
+#include "hybrid/config.hpp"
 #include "net/config.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/scenarios.hpp"
@@ -44,6 +45,10 @@ struct RunConfig {
   /// attach it to the controller, which appends one JSONL record per
   /// period (plus per-decision events at TraceLevel::kEvent).
   obs::TraceSink* trace = nullptr;
+  /// Hybrid fluid/packet coupling (DESIGN.md §16); GMP only. With both
+  /// modes off this config is inert and runs are byte-identical to
+  /// builds that predate it.
+  hybrid::HybridConfig hybrid;
 };
 
 struct FlowOutcome {
@@ -52,6 +57,9 @@ struct FlowOutcome {
   double ratePps = 0.0;
   double weight = 1.0;
   int hops = 0;
+  /// True when the flow was advanced by the fluid solver (hybrid
+  /// background mode) rather than packet-simulated.
+  bool background = false;
 };
 
 struct RunResult {
@@ -73,6 +81,14 @@ struct RunResult {
   std::int64_t framesSuppressed = 0;   ///< silenced by down nodes / cut links
   std::int64_t staleMeasurementsUsed = 0;  ///< controller TTL substitutions
   std::int64_t limitsRestored = 0;         ///< post-recovery limit restores
+
+  // --- hybrid-run accounting (all zero when hybrid modes are off) ----------
+  int ffPeriods = 0;          ///< fluid fast-forward periods iterated
+  bool ffConverged = false;   ///< fixed point reached within tolerance
+  std::int64_t seededPackets = 0;   ///< backlog packets injected at t=0
+  int relinearizations = 0;   ///< background re-couplings (one per period)
+  int backgroundFlows = 0;    ///< flows advanced by the fluid solver
+  std::int64_t phantomBursts = 0;   ///< background NAV reservations emitted
 
   [[nodiscard]] double rateOf(net::FlowId id) const;
 };

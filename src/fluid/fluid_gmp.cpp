@@ -1,6 +1,7 @@
 #include "fluid/fluid_gmp.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -102,6 +103,33 @@ std::map<net::FlowId, double> FluidGmpHarness::run(int periods) {
   MAXMIN_CHECK(periods > 0);
   for (int p = 0; p < periods; ++p) step();
   return network_.evaluate().rates;
+}
+
+FixedPointResult FluidGmpHarness::runToFixedPoint(double tol, int maxPeriods) {
+  MAXMIN_CHECK(tol > 0.0);
+  MAXMIN_CHECK(maxPeriods > 0);
+  FixedPointResult out;
+  std::map<net::FlowId, double> prev;
+  double smoothed = 1.0;
+  for (int p = 0; p < maxPeriods; ++p) {
+    step();
+    ++out.periods;
+    double delta = 0.0;
+    for (const gmp::FlowState& f : lastSnapshot_.flows) {
+      if (const auto it = prev.find(f.id); it != prev.end()) {
+        delta = std::max(delta, std::abs(f.ratePps - it->second));
+      }
+      prev[f.id] = f.ratePps;
+    }
+    if (p == 0) continue;  // no previous period to diff against
+    smoothed = 0.5 * smoothed + 0.5 * delta / network_.cliqueCapacity();
+    out.residual = smoothed;
+    if (smoothed < tol) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
 }
 
 }  // namespace maxmin::fluid

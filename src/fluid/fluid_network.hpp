@@ -15,9 +15,20 @@
 // The point is speed and determinism: the same gmp::Engine that drives
 // the packet simulator can be exercised over hundreds of random
 // topologies in milliseconds, and its fixed point compared against the
-// centralized maxmin reference.
+// centralized maxmin reference. The hybrid engine (DESIGN.md §16) leans
+// on two extensions: per-link *external occupancy* terms fold
+// packet-measured foreground airtime into the clique constraints, and
+// `extraLinks` lets the contention structure span links the fluid flows
+// never cross (the foreground's links), so a mixed clique constrains the
+// background correctly.
+//
+// The solver core is allocation-free after the first evaluate(): clique
+// and flow incidence is stored in CSR form and the iteration workspace is
+// reused across calls, so an N=5k fixed point costs no per-iteration heap
+// traffic (see bench/bench_fluid.cpp).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -34,20 +45,55 @@ struct FluidState {
   std::map<net::FlowId, double> rates;
   /// Saturated virtual nodes (node, dest), per the backpressure chain.
   std::map<std::pair<topo::NodeId, topo::NodeId>, bool> saturated;
-  /// Airtime occupancy per wireless link (fraction of clique capacity).
+  /// Airtime occupancy per wireless link (fraction of clique capacity,
+  /// external occupancy included).
   std::map<topo::Link, double> occupancy;
+};
+
+/// Knobs for the demand-proportional scaling iteration.
+struct SolverOptions {
+  /// Fraction of the exact rescale step applied each iteration; 1.0 is
+  /// the undamped historical behavior, smaller values trade iterations
+  /// for smoother trajectories when external occupancy jumps per period.
+  double damping = 1.0;
+  int maxIterations = 10000;
+  /// A clique is considered overloaded when utilization > 1 + slack.
+  double utilizationSlack = 1e-9;
+};
+
+/// Diagnostics for the most recent evaluate().
+struct SolveStats {
+  int iterations = 0;
+  bool converged = false;
+  /// Worst clique utilization (including external occupancy) at exit,
+  /// recomputed from scratch (not the incrementally-updated loads).
+  double maxUtilization = 0.0;
 };
 
 class FluidNetwork {
  public:
+  /// `extraLinks` join the contention structure without carrying fluid
+  /// flows; they exist so external (packet-measured) occupancy can be
+  /// charged against the cliques the fluid flows share with them.
   FluidNetwork(const topo::Topology& topo, std::vector<net::FlowSpec> flows,
-               double cliqueCapacityPps);
+               double cliqueCapacityPps,
+               std::vector<topo::Link> extraLinks = {});
 
-  /// Steady state under the current rate limits.
+  /// Steady state under the current rate limits and external occupancy.
   [[nodiscard]] FluidState evaluate() const;
 
   void setRateLimit(net::FlowId id, std::optional<double> pps);
   [[nodiscard]] std::optional<double> rateLimit(net::FlowId id) const;
+
+  /// Airtime fraction consumed on `l` by traffic outside the fluid model
+  /// (the hybrid engine's packet-measured foreground). Charged against
+  /// every clique containing `l`; `l` must be a contention link.
+  void setExternalOccupancy(topo::Link l, double fraction);
+  void clearExternalOccupancy();
+
+  void setSolverOptions(SolverOptions opts);
+  [[nodiscard]] const SolverOptions& solverOptions() const { return opts_; }
+  [[nodiscard]] const SolveStats& lastSolveStats() const { return stats_; }
 
   const std::vector<net::FlowSpec>& flows() const { return flows_; }
   const std::vector<std::vector<topo::NodeId>>& paths() const { return paths_; }
@@ -60,8 +106,36 @@ class FluidNetwork {
   std::map<net::FlowId, std::optional<double>> limits_;
   gmp::ContentionStructure contention_;
   double capacity_;
-  /// traversalsByClique_[c][flowIdx]
-  std::vector<std::vector<int>> traversals_;
+  SolverOptions opts_;
+
+  /// pathLinks_[flowIdx][hop] = contention link index of that hop.
+  std::vector<std::vector<std::int32_t>> pathLinks_;
+
+  // CSR incidence, built once in the constructor. Entries with zero
+  // traversal count are never stored.
+  std::vector<std::int32_t> cliqueFlowOff_;   ///< cliques + 1
+  std::vector<std::int32_t> cliqueFlowIdx_;   ///< flow index per entry
+  std::vector<std::int32_t> cliqueFlowCnt_;   ///< traversal multiplicity
+  std::vector<std::int32_t> flowCliqueOff_;   ///< flows + 1
+  std::vector<std::int32_t> flowCliqueIdx_;   ///< clique index per entry
+  std::vector<std::int32_t> flowCliqueCnt_;   ///< traversal multiplicity
+  std::vector<std::int32_t> linkFlowOff_;     ///< links + 1
+  std::vector<std::int32_t> linkFlowIdx_;     ///< flow index per entry
+  std::vector<std::int32_t> linkFlowCnt_;     ///< traversal multiplicity
+
+  /// External occupancy per contention link index and its per-clique sum.
+  std::vector<double> extLink_;
+  std::vector<double> extClique_;
+
+  /// Iteration workspace, reused across evaluate() calls.
+  struct Workspace {
+    std::vector<double> offered;
+    std::vector<double> rate;
+    std::vector<double> load;          ///< per clique, pps
+    std::vector<std::int32_t> bottleneck;  ///< per flow, clique idx or -1
+  };
+  mutable Workspace ws_;
+  mutable SolveStats stats_;
 };
 
 }  // namespace maxmin::fluid

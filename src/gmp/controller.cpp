@@ -53,6 +53,17 @@ std::size_t Controller::cachedMeasurements() const {
                     [](int p) { return p >= 0; }));
 }
 
+void Controller::warmStart(
+    const std::vector<net::NodePeriodMeasurement>& perNode) {
+  MAXMIN_CHECK_MSG(periods_ == 0, "warmStart after periods already ran");
+  MAXMIN_CHECK(perNode.size() == lastGoodMeas_.size());
+  for (std::size_t ni = 0; ni < perNode.size(); ++ni) {
+    if (perNode[ni].periodSeconds <= 0.0) continue;
+    lastGoodMeas_[ni] = perNode[ni];
+    lastGoodPeriod_[ni] = 0;
+  }
+}
+
 Snapshot Controller::takeSnapshot() {
   const int n = net_.topology().numNodes();
   std::vector<net::NodePeriodMeasurement> meas;
@@ -405,6 +416,7 @@ void Controller::finishPeriod(Snapshot snapshot) {
   for (const FlowState& fs : snap.flows) rates[fs.id] = fs.ratePps;
   rateHistory_.push_back(std::move(rates));
   emitPeriodTrace();
+  if (periodHook_) periodHook_(snap, periods_);
   ++periods_;
 }
 

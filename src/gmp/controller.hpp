@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -66,6 +67,20 @@ class Controller {
   /// adjusting anything (also used by tests).
   Snapshot takeSnapshot();
 
+  /// Import externally-synthesized per-node measurements (the hybrid
+  /// fast-forward injection, DESIGN.md §16): seeds the staleness-bridging
+  /// cache as if period 0 had measured them, so a node whose first real
+  /// window comes up empty bridges from the fluid estimate instead of
+  /// going stale. Must be called before any period has run.
+  void warmStart(const std::vector<net::NodePeriodMeasurement>& perNode);
+
+  /// Invoked at the end of every adjustment period with the snapshot the
+  /// engine just acted on and the period index (the hybrid engine's
+  /// re-linearization hook; pass nullptr to detach).
+  void setPeriodHook(std::function<void(const Snapshot&, int)> hook) {
+    periodHook_ = std::move(hook);
+  }
+
   // --- robustness diagnostics (fault runs; all zero otherwise) -------------
   /// Periods in which a node's cached measurement stood in for a missing
   /// or empty one (within the staleness TTL).
@@ -112,6 +127,7 @@ class Controller {
   sim::Timer assembleTimer_;
   std::vector<std::unique_ptr<sim::Timer>> skewTimers_;
   obs::TraceSink* trace_ = nullptr;
+  std::function<void(const Snapshot&, int)> periodHook_;
 
   /// All virtual links any flow traverses, with the flows on each.
   std::map<VirtualLinkKey, std::vector<net::FlowId>> flowsOnVlink_;

@@ -51,6 +51,19 @@ void Dcf::accrueOccupancy(topo::NodeId nextHop, Duration airtime) {
   occupancy_[nextHop] += airtime;
 }
 
+void Dcf::occupyChannel(Duration busyFor) {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
+  MAXMIN_CHECK(busyFor > Duration::zero());
+  navEnd_ = std::max(navEnd_, sim_.now() + busyFor);
+  // Lazy wake: if a wake is already pending it was armed for an earlier
+  // (or equal) deadline, and its callback chains armWakeTimer() to cover
+  // the extension — re-arming here would churn one tombstoned event per
+  // phantom burst per reached node, the dominant event-queue cost of
+  // hybrid runs.
+  if (!wakeTimer_.pending()) armWakeTimer();
+  refreshChannelState();
+}
+
 // ---------------------------------------------------------------------------
 // Channel state
 // ---------------------------------------------------------------------------
@@ -75,7 +88,14 @@ void Dcf::refreshChannelState() {
 void Dcf::armWakeTimer() {
   const TimePoint wake = std::max(navEnd_, deferUntil_);
   if (wake > sim_.now()) {
-    wakeTimer_.arm(wake - sim_.now(), [this] { refreshChannelState(); });
+    // The chained armWakeTimer() covers reservations extended while this
+    // wake was pending (occupyChannel's lazy path). When nothing was
+    // extended, wake == now at fire time and the chain no-ops, so
+    // non-hybrid runs schedule exactly the events they always did.
+    wakeTimer_.arm(wake - sim_.now(), [this] {
+      refreshChannelState();
+      armWakeTimer();
+    });
   }
 }
 

@@ -14,6 +14,7 @@
 // point (paper §1) is to sit above stock DCF.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -65,6 +66,23 @@ class Dcf final : public phys::RadioListener {
   /// `nextHop` since the last call; resets the accumulator. This is the
   /// per-wireless-link channel occupancy source for GMP (paper §6.2).
   Duration takeOccupancy(topo::NodeId nextHop);
+
+  /// Reserve the channel for `busyFor` from now, exactly as if a frame
+  /// carrying that NAV had been overheard: transmissions defer and
+  /// backoff freezes until the reservation expires. The hybrid engine
+  /// radiates fluid background load through this (DESIGN.md §16); such
+  /// phantom reservations never count toward takeOccupancy().
+  void occupyChannel(Duration busyFor);
+
+  /// True while this node's physical or virtual carrier sense is busy.
+  /// The hybrid background trains consult this so phantom reservations
+  /// serialize after real exchanges instead of overlapping them.
+  [[nodiscard]] bool channelBusy() const { return virtuallyBusy(); }
+  /// When the current NAV/EIFS reservation clears from this node's view;
+  /// physical medium energy may keep the channel busy past this.
+  [[nodiscard]] TimePoint reservedUntil() const {
+    return std::max(navEnd_, deferUntil_);
+  }
 
   // phys::RadioListener
   void onChannelBusy() override;

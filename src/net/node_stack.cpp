@@ -111,6 +111,16 @@ void NodeStack::enqueue(PacketPtr p) {
   if (mac_ != nullptr) mac_->notifyTrafficPending();
 }
 
+void NodeStack::seedPacket(PacketPtr p) {
+  const sim::OwnerScope scope{sim_, static_cast<std::uint32_t>(self_)};
+  MAXMIN_CHECK(operational_);
+  MAXMIN_CHECK(p != nullptr);
+  PacketQueue& q = queueFor(keyFor(*p));
+  if (q.full()) return;
+  q.pushBack(std::move(p), now());
+  if (mac_ != nullptr) mac_->notifyTrafficPending();
+}
+
 // ---------------------------------------------------------------------------
 // Flow sources
 // ---------------------------------------------------------------------------

@@ -84,6 +84,15 @@ class NodeStack final : public mac::FrameClient {
   /// Instantaneous saturation check used by tests.
   bool queueExistsFor(topo::NodeId dest) const;
 
+  /// Inject an in-transit packet directly into the forwarding queue (the
+  /// hybrid fast-forward backlog injection, DESIGN.md §16). Bypasses
+  /// source admission — the packet is treated as already accepted
+  /// upstream — and never overflows: seeding stops at capacity. The
+  /// caller owns sequence-number consistency with the flow's source
+  /// (seeded packets use negative sequence numbers so duplicate
+  /// suppression at the sink stays monotone).
+  void seedPacket(PacketPtr p);
+
   std::int64_t dropsTail() const { return dropsTail_; }
   std::int64_t duplicatesDropped() const { return duplicatesDropped_; }
 

@@ -1,0 +1,2 @@
+#pragma once
+inline int solverValue() { return 8; }

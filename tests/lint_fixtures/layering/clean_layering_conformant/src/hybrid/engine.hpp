@@ -1,0 +1,6 @@
+// hybrid (rank 9) over fluid (rank 8) and net (rank 6): the legal
+// direction of the fluid/packet coupling.
+#pragma once
+#include "fluid/solver.hpp"
+#include "net/mid.hpp"
+inline int engineValue() { return solverValue() + midValue(); }

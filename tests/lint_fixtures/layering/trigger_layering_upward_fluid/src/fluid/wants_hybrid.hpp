@@ -1,0 +1,6 @@
+// Synthetic upward include: fluid (rank 8) reaching into hybrid (rank
+// 9) is the inversion the hybrid layering exists to refuse — the fluid
+// solver must stay couplable without the coupling layer.
+#pragma once
+#include "hybrid/top.hpp"
+inline int fluidValue() { return hybridValue(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int hybridValue() { return 9; }

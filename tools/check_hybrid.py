@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Gate a hybrid maxmin-sim run against its pure-packet reference.
+
+Usage:
+    check_hybrid.py pure.csv hybrid.csv [--tol-imm X] [--tol-ieq Y]
+
+Both inputs are `maxmin-sim --csv` outputs for the same scenario and
+seed. The gate compares the summary fairness metrics: the hybrid run
+(fluid background and/or fluid fast-forward) must reproduce the pure
+run's I_mm and I_eq within the documented tolerances (DESIGN.md §16).
+Exit 0 on pass, 1 with a diagnostic on failure.
+"""
+import argparse
+import sys
+
+
+def metrics(path):
+    vals = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            parts = line.strip().split(",")
+            if len(parts) == 2 and parts[0] in ("I_mm", "I_eq"):
+                vals[parts[0]] = float(parts[1])
+    missing = {"I_mm", "I_eq"} - vals.keys()
+    if missing:
+        sys.exit(f"{path}: missing metric rows {sorted(missing)}")
+    return vals
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("pure")
+    ap.add_argument("hybrid")
+    ap.add_argument("--tol-imm", type=float, default=0.10)
+    ap.add_argument("--tol-ieq", type=float, default=0.05)
+    args = ap.parse_args()
+
+    pure, hyb = metrics(args.pure), metrics(args.hybrid)
+    d_imm = abs(hyb["I_mm"] - pure["I_mm"])
+    d_ieq = abs(hyb["I_eq"] - pure["I_eq"])
+    print(f"I_mm: pure {pure['I_mm']:.4f} hybrid {hyb['I_mm']:.4f} "
+          f"(|d| {d_imm:.4f}, tol {args.tol_imm})")
+    print(f"I_eq: pure {pure['I_eq']:.4f} hybrid {hyb['I_eq']:.4f} "
+          f"(|d| {d_ieq:.4f}, tol {args.tol_ieq})")
+    if d_imm > args.tol_imm or d_ieq > args.tol_ieq:
+        sys.exit("FAIL: hybrid run outside tolerance of pure reference")
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,8 @@
 
 The subsystems of src/ form a documented layering (DESIGN.md §4/§10):
 
-    util < obs < sim < topology < phys < mac < net < gmp
-         < {analysis, exp, baselines, fluid, scenarios}
+    util < obs < sim < topology < phys < mac < net < gmp < fluid
+         < {analysis, exp, baselines, hybrid, scenarios}
 
 A file may include its own module and any strictly lower-ranked module;
 the five top-rank modules may also include each other as long as the
@@ -48,11 +48,12 @@ LAYERS: Dict[str, int] = {
     "mac": 5,
     "net": 6,
     "gmp": 7,
-    "analysis": 8,
-    "exp": 8,
-    "baselines": 8,
     "fluid": 8,
-    "scenarios": 8,
+    "analysis": 9,
+    "exp": 9,
+    "baselines": 9,
+    "hybrid": 9,
+    "scenarios": 9,
 }
 TOP_RANK = max(LAYERS.values())
 

@@ -10,6 +10,7 @@
 //   maxmin_sim --scenario fig4 --faults "crash 1 60; recover 1 100"
 //   maxmin_sim --scenario fig3 --faults outage.faults --ge 0.05:0.25:1
 //       --impair-scope control
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -19,6 +20,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/chaos_harness.hpp"
 #include "analysis/experiment.hpp"
@@ -56,6 +58,10 @@ struct Options {
   std::string trace;      // JSONL trace output path; empty = no tracing
   std::string traceLevel = "period";  // period|event
   int shards = 0;         // sharded PDES worker lanes; 0 = serial loop
+  bool fastForward = false;  // fluid fast-forward before t=0
+  double ffTol = 0.02;       // fast-forward convergence tolerance
+  bool hybrid = false;       // fluid background load (needs --foreground)
+  std::string foreground;    // "0,3" or "auto:K": packet-simulated flows
   bool profile = false;   // per-site wall-time histograms on stderr
   bool metrics = false;   // metrics-registry dump on stderr (needs
                           // a MAXMIN_OBSERVABILITY=ON build to be non-empty)
@@ -92,6 +98,17 @@ struct Options {
       << "              (capped by topology width; any K, including 1, is\n"
       << "              bit-identical to any other K; incompatible with\n"
       << "              --per/--ge)\n"
+      << "  --fast-forward      iterate the fluid GMP fixed point before t=0\n"
+      << "                      and start the packet run inside its basin\n"
+      << "                      (gmp only; see DESIGN.md §16)\n"
+      << "  --ff-tol EPS        fast-forward convergence tolerance, as a\n"
+      << "                      fraction of clique capacity   (default 0.02)\n"
+      << "  --hybrid            advance all non-foreground flows with the\n"
+      << "                      fluid solver, re-linearized each GMP period;\n"
+      << "                      needs --foreground (gmp only; incompatible\n"
+      << "                      with --shards/--faults/--per/--ge)\n"
+      << "  --foreground LIST   packet-simulated flows under --hybrid: flow\n"
+      << "                      ids like \"0,3\", or auto:K for the first K\n"
       << "  --profile   print per-callback-site wall-time histograms\n"
       << "  --metrics   print the metrics registry (counters are compiled\n"
       << "              in only with -DMAXMIN_OBSERVABILITY=ON)\n"
@@ -155,6 +172,14 @@ Options parse(int argc, char** argv) {
       o.traceLevel = value();
     } else if (arg == "--shards") {
       o.shards = std::stoi(value());
+    } else if (arg == "--fast-forward") {
+      o.fastForward = true;
+    } else if (arg == "--ff-tol") {
+      o.ffTol = std::stod(value());
+    } else if (arg == "--hybrid") {
+      o.hybrid = true;
+    } else if (arg == "--foreground") {
+      o.foreground = value();
     } else if (arg == "--profile") {
       o.profile = true;
     } else if (arg == "--metrics") {
@@ -217,6 +242,61 @@ phys::ImpairmentConfig makeImpairments(const Options& o) {
     std::exit(2);
   }
   return cfg;
+}
+
+/// `--foreground` accepts an explicit id list ("0,3,5") or "auto:K"
+/// (the scenario's first K flows). The background partition must be
+/// non-empty — otherwise --hybrid buys nothing.
+std::vector<net::FlowId> parseForeground(const std::string& spec,
+                                         const scenarios::Scenario& scenario) {
+  std::vector<net::FlowId> ids;
+  if (spec.rfind("auto:", 0) == 0) {
+    int k = 0;
+    try {
+      k = std::stoi(spec.substr(5));
+    } catch (const std::exception&) {
+      k = 0;
+    }
+    if (k <= 0) {
+      std::cerr << "--foreground auto:K needs K >= 1\n";
+      std::exit(2);
+    }
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(scenario.flows.size(),
+                                   static_cast<std::size_t>(k));
+         ++i) {
+      ids.push_back(scenario.flows[i].id);
+    }
+  } else {
+    std::istringstream in{spec};
+    for (std::string tok; std::getline(in, tok, ',');) {
+      try {
+        ids.push_back(std::stoi(tok));
+      } catch (const std::exception&) {
+        std::cerr << "--foreground: bad flow id '" << tok << "'\n";
+        std::exit(2);
+      }
+    }
+  }
+  if (ids.empty()) {
+    std::cerr << "--foreground must name at least one flow\n";
+    std::exit(2);
+  }
+  for (const net::FlowId id : ids) {
+    bool known = false;
+    for (const auto& f : scenario.flows) known = known || f.id == id;
+    if (!known) {
+      std::cerr << "--foreground: scenario '" << scenario.name
+                << "' has no flow " << id << '\n';
+      std::exit(2);
+    }
+  }
+  if (ids.size() >= scenario.flows.size()) {
+    std::cerr << "--foreground covers every flow; nothing left to "
+                 "background (drop --hybrid for a pure-packet run)\n";
+    std::exit(2);
+  }
+  return ids;
 }
 
 scenarios::Scenario pickScenario(const Options& o) {
@@ -418,6 +498,45 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.netBase.shards = options.shards;
+
+  cfg.hybrid.fastForward = options.fastForward;
+  cfg.hybrid.ffTol = options.ffTol;
+  cfg.hybrid.background = options.hybrid;
+  if (!options.foreground.empty() && !options.hybrid) {
+    std::cerr << "--foreground only means something with --hybrid\n";
+    return 2;
+  }
+  if (cfg.hybrid.enabled()) {
+    if (cfg.protocol != analysis::Protocol::kGmp) {
+      std::cerr << "--fast-forward/--hybrid drive the GMP controller; "
+                   "use --protocol gmp\n";
+      return 2;
+    }
+    if (options.shards > 0) {
+      std::cerr << "--fast-forward/--hybrid need the serial event loop; "
+                   "drop --shards\n";
+      return 2;
+    }
+    if (options.ffTol <= 0.0) {
+      std::cerr << "--ff-tol must be positive\n";
+      return 2;
+    }
+  }
+  if (options.hybrid) {
+    if (options.foreground.empty()) {
+      std::cerr << "--hybrid needs --foreground (e.g. --foreground 0,1 "
+                   "or --foreground auto:2)\n";
+      return 2;
+    }
+    if (!options.faults.empty() || cfg.netBase.impairments.enabled()) {
+      std::cerr << "--hybrid is incompatible with --faults/--per/--ge "
+                   "(the fluid background model knows nothing about "
+                   "faults or losses)\n";
+      return 2;
+    }
+    cfg.hybrid.foreground = parseForeground(options.foreground, scenario);
+  }
+
   if (options.shards > 0) {
     // Diagnostic on stderr (CSV on stdout stays clean): the carved strip
     // count is what speedup is bounded by, not the requested K.
@@ -444,11 +563,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Background (fluid-advanced) flows are tagged in the name column;
+  // with hybrid off the table is byte-identical to earlier builds.
   Table table({"flow", "src>dst", "weight", "hops", "rate_pps", "mu"});
   for (std::size_t i = 0; i < result.flows.size(); ++i) {
     const auto& f = result.flows[i];
     const auto& spec = scenario.flows[i];
-    table.addRow({f.name,
+    table.addRow({f.background ? f.name + " (bg)" : f.name,
                   std::to_string(spec.src) + ">" + std::to_string(spec.dst),
                   Table::num(f.weight, 1), std::to_string(f.hops),
                   Table::num(f.ratePps), Table::num(f.ratePps / f.weight)});
@@ -475,6 +596,21 @@ int main(int argc, char** argv) {
     metrics.addRow({"stale_meas_used",
                     std::to_string(result.staleMeasurementsUsed)});
     metrics.addRow({"limits_restored", std::to_string(result.limitsRestored)});
+  }
+  if (cfg.hybrid.enabled()) {
+    if (cfg.hybrid.fastForward) {
+      metrics.addRow({"ff_periods", std::to_string(result.ffPeriods)});
+      metrics.addRow({"ff_converged", result.ffConverged ? "1" : "0"});
+      metrics.addRow({"seeded_packets", std::to_string(result.seededPackets)});
+    }
+    if (cfg.hybrid.background) {
+      metrics.addRow({"background_flows",
+                      std::to_string(result.backgroundFlows)});
+      metrics.addRow({"relinearizations",
+                      std::to_string(result.relinearizations)});
+      metrics.addRow({"phantom_bursts",
+                      std::to_string(result.phantomBursts)});
+    }
   }
 
   if (options.csv) {
